@@ -1,0 +1,15 @@
+"""Benchmark configuration: one round is enough for experiment benches
+(each bench runs a full experiment and asserts the paper's shape)."""
+
+import pytest
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Run the experiment exactly once under the benchmark fixture."""
+    benchmark.pedantic = getattr(benchmark, "pedantic", None)
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+    return runner

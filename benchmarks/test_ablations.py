@@ -1,0 +1,37 @@
+"""Ablations for DESIGN.md's called-out design choices."""
+
+from repro.harness.ablations import (
+    cam_ip_vs_language, memcached_storage_latency,
+    pause_density_vs_timing,
+)
+
+
+def test_ablation_cam_ip_vs_language(bench_once):
+    """§4.1: the IP-block CAM beats the language CAM on resources."""
+    ip_report, lang_report, text = bench_once(cam_ip_vs_language)
+    print("\n" + text)
+    assert ip_report.logic < lang_report.logic
+    assert lang_report.ffs > ip_report.ffs
+
+
+def test_ablation_pause_density(bench_once):
+    """§3.4: coarse schedules pack more logic per cycle (worse timing),
+    fine schedules take more cycles (worse latency)."""
+    coarse, fine, text = bench_once(pause_density_vs_timing)
+    print("\n" + text)
+    assert coarse.state_count < fine.state_count
+    assert coarse.timing.max_logic_levels > fine.timing.max_logic_levels
+    # Both still meet the generous timing budget; an extreme coarse
+    # schedule would not — which is the paper's "design fails" case.
+    assert fine.timing.meets_timing()
+
+
+def test_ablation_memcached_storage(bench_once):
+    """§5.4: DRAM storage is slower and more variable than on-chip."""
+    results, text = bench_once(memcached_storage_latency, 400)
+    print("\n" + text)
+    onchip, dram = results["onchip"], results["dram"]
+    assert dram.average_us() > onchip.average_us()
+    assert dram.stddev_us() > onchip.stddev_us()
+    # On-chip keeps the tail essentially flat.
+    assert onchip.tail_to_average() < 1.15

@@ -1,0 +1,50 @@
+"""Toolchain micro-benchmarks: compiler and simulator throughput.
+
+These are conventional pytest-benchmark measurements (multiple rounds)
+rather than one-shot experiments: they track the cost of workflow step
+B1 (compile) and of cycle-accurate simulation.
+"""
+
+from repro.kiwi import compile_function
+from repro.rtl import Simulator
+from repro.services.icmp_echo import icmp_echo_kernel
+from repro.services.switch import switch_kernel
+
+
+def test_bench_compile_switch_kernel(benchmark):
+    design = benchmark(compile_function, switch_kernel)
+    assert design.state_count >= 4
+
+
+def test_bench_compile_icmp_kernel(benchmark):
+    design = benchmark(compile_function, icmp_echo_kernel)
+    assert design.state_count >= 8
+
+
+def test_bench_simulate_icmp_kernel(benchmark):
+    from repro.core.protocols.icmp import build_icmp_echo_request
+    from repro.net.packet import ip_to_int
+    design = compile_function(icmp_echo_kernel)
+    raw = build_icmp_echo_request(1, 2, ip_to_int("10.0.0.2"),
+                                  ip_to_int("10.0.0.1"))
+    frame = list(raw) + [0] * (128 - len(raw))
+
+    def run():
+        (out,), latency, _ = design.run(memories={"frame": frame},
+                                        my_ip=ip_to_int("10.0.0.1"))
+        return out
+    assert benchmark(run) == 1
+
+
+def test_bench_service_software_semantics(benchmark):
+    """Packets/second of the behavioural ICMP service (CPU target)."""
+    from repro.core.protocols.icmp import build_icmp_echo_request
+    from repro.net.packet import Frame, ip_to_int
+    from repro.services import IcmpEchoService
+    service = IcmpEchoService(my_ip=ip_to_int("10.0.0.1"))
+    raw = build_icmp_echo_request(1, 2, ip_to_int("10.0.0.2"),
+                                  ip_to_int("10.0.0.1"))
+
+    def run():
+        return service.process(Frame(raw, src_port=0)).dst_ports
+    assert benchmark(run) == 1

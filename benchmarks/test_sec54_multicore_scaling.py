@@ -1,0 +1,24 @@
+"""§5.4: four Memcached cores (one per port) scale GETs ~3.7x."""
+
+from repro.harness.multicore import (
+    functional_replication_check, run_multicore_scaling,
+)
+
+
+def test_sec54_multicore_scaling(bench_once):
+    single_qps, multi_qps, speedup, text = bench_once(
+        run_multicore_scaling, 4, 0.1)
+    print("\n" + text)
+    # Paper: 3.7x for the 90/10 GET/SET mix on 4 cores.
+    assert 3.2 < speedup < 3.9
+    assert multi_qps > single_qps
+
+    # SETs are applied to every instance (so their ratio cannot improve).
+    assert functional_replication_check(4) == [1, 1, 1, 1]
+
+
+def test_write_heavy_mix_scales_worse(bench_once):
+    """The §5.4 asymmetry: more SETs -> less speedup."""
+    _, _, speedup_writes, _ = bench_once(run_multicore_scaling, 4, 0.5)
+    _, _, speedup_reads, _ = run_multicore_scaling(4, 0.1)
+    assert speedup_writes < speedup_reads

@@ -1,0 +1,21 @@
+"""Table 1: qualitative solution comparison, regenerated."""
+
+from repro.harness.tables import render_table1, solution_comparison
+
+
+def test_table1_solutions(bench_once):
+    rows = bench_once(solution_comparison)
+    text = render_table1()
+    print("\n" + text)
+
+    names = [row["solution"] for row in rows]
+    assert names == ["Emu", "Kiwi", "Vivado HLS", "SDNet", "P4",
+                     "ClickNP"]
+    emu = rows[0]
+    # The distinguishing claims of the table:
+    assert emu["paradigm"] == "Any"
+    assert emu["metric"] == "User defined"
+    assert "Mininet" in emu["debug"]
+    packet_only = [r for r in rows if r["paradigm"] == "Packet processing"]
+    assert {r["solution"] for r in packet_only} == \
+        {"SDNet", "P4", "ClickNP"}

@@ -1,0 +1,23 @@
+"""Table 2: the direction command language, generated from the parser."""
+
+from repro.direction.commands import parse_command
+from repro.direction.lowering import lower_command
+from repro.harness.tables import direction_commands, render_table2
+
+
+def test_table2_direction_commands(bench_once):
+    table = bench_once(direction_commands)
+    print("\n" + render_table2())
+
+    assert set(table) == {"print", "break", "unbreak", "backtrace",
+                          "watch", "unwatch", "count", "trace"}
+    # Every documented command parses and lowers to a CASP procedure.
+    examples = [
+        "print X", "break L", "break L X == 3", "watch X X > 0",
+        "count reads X", "count writes X", "count calls f",
+        "trace start X", "trace stop X", "trace clear X",
+        "trace print X", "trace full X", "backtrace",
+    ]
+    for line in examples:
+        procedure = lower_command(parse_command(line))
+        assert len(procedure) >= 1

@@ -1,0 +1,56 @@
+"""Table 4: Emu-based vs host-based services (the headline result).
+
+Shape assertions (paper values in parentheses):
+
+* Emu latency ~1-2 us per service (1.09-1.82 us) with a tail-to-average
+  ratio below 1.1 (1.02-1.04);
+* host latency 1 to 3 orders of magnitude higher (12 us - 2.4 ms) with
+  tail-to-average ratios between ~1.1 and ~3 (1.09-2.98);
+* Emu throughput improvement factors roughly 2x-5x (2.1x-5.2x).
+"""
+
+import pytest
+
+from repro.harness.table4 import run_table4
+
+PAPER_HOST_AVG_US = {
+    "ICMP Echo": 12.28, "TCP Ping": 21.79, "DNS": 126.46,
+    "NAT": 2444.76, "Memcached": 24.29,
+}
+
+
+@pytest.fixture(scope="module")
+def table4_results():
+    results, text = run_table4(count=1500)
+    print("\n" + text)
+    return results
+
+
+def test_table4_emu_vs_host(bench_once):
+    results, text = bench_once(run_table4, 1500)
+    print("\n" + text)
+
+    for result in results:
+        # Emu: microsecond-scale, predictable.
+        assert 0.5 < result.emu_avg_us < 3.0
+        assert result.emu_tail_ratio < 1.1
+
+        # Host: 1-3 orders of magnitude slower, heavy-tailed.
+        assert result.host_avg_us > 8 * result.emu_avg_us
+        assert 1.02 < result.host_tail_ratio < 6.0
+
+        # Throughput: Emu wins by roughly the paper's factors.
+        factor = result.emu_mqps / result.host_mqps
+        assert 1.8 < factor < 8.0
+
+        # Within 3x of the paper's host averages (same order).
+        paper = PAPER_HOST_AVG_US[result.name]
+        assert paper / 3 < result.host_avg_us < paper * 3
+
+    nat = next(r for r in results if r.name == "NAT")
+    assert nat.host_avg_us > 1000       # milliseconds, as in the paper
+
+    dns = next(r for r in results if r.name == "DNS")
+    host_ratios = {r.name: r.host_tail_ratio for r in results}
+    # DNS has the *smallest* relative host tail (1.09 in the paper).
+    assert host_ratios["DNS"] == min(host_ratios.values())

@@ -1,0 +1,28 @@
+"""Table 5: debug-controller overhead for DNS and Memcached.
+
+The paper: utilisation changes of -0.8% to +15.1%, latency/throughput
+within 0.5% of the bare service.  Shape assertion: every variant stays
+within a few percent on every axis.
+"""
+
+from repro.harness.table5 import FEATURE_VARIANTS, run_table5
+
+
+def test_table5_debug_overhead(bench_once):
+    data, text = bench_once(run_table5, 400)
+    print("\n" + text)
+
+    for artefact in ("DNS", "Memcached"):
+        util = data[artefact]["utilisation"]
+        perf = data[artefact]["performance"]
+        assert util["base"] == 100.0
+        for label, _ in FEATURE_VARIANTS:
+            # Utilisation: small additive cost (paper: up to +15.1%).
+            assert 99.0 <= util[label] <= 120.0
+            latency_pct, qps_pct = perf[label]
+            # Latency within ~2% (paper: 99.5-100.5%).
+            assert 95.0 <= latency_pct <= 102.0
+            # Throughput within ~5% (paper: 100%).
+            assert 93.0 <= qps_pct <= 101.0
+        # More features cost more logic.
+        assert util["+I"] >= util["+R"] - 0.5

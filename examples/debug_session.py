@@ -1,0 +1,83 @@
+"""Remote debugging with direction packets (§3.5, §5.5).
+
+Re-enacts the paper's debugging anecdote: a Memcached service misbehaves
+on "hardware" while simulation looks fine; directing the running program
+through direction packets reveals the story — here we trace and print a
+live counter, set a conditional breakpoint, then resume, exactly the
+gdb-remote-style loop the paper describes.
+
+Run:  python examples/debug_session.py
+"""
+
+from repro.core.protocols.memcached import (
+    build_ascii_get, build_ascii_set, build_udp_frame_header,
+)
+from repro.core.protocols.udp import build_udp
+from repro.direction import DirectedService, Director
+from repro.net.packet import Frame, ip_to_int, mac_to_int
+from repro.services import MemcachedService
+
+IP_SVC = ip_to_int("10.0.0.1")
+IP_CLI = ip_to_int("10.0.0.2")
+MAC_SVC = mac_to_int("02:00:00:00:00:04")
+MAC_CLI = mac_to_int("02:00:00:00:00:aa")
+MAC_DIRECTOR = mac_to_int("02:00:00:00:00:d1")
+
+
+def memcached_request(body, request_id):
+    payload = build_udp_frame_header(request_id) + body
+    return Frame(build_udp(MAC_SVC, MAC_CLI, IP_CLI, IP_SVC, 4000,
+                           11211, payload), src_port=0).pad()
+
+
+def main():
+    # Fig. 11: the service is transformed to host a controller.
+    service = DirectedService(MemcachedService(my_ip=IP_SVC),
+                              features=("read", "write", "increment"))
+
+    def wire(raw):
+        """Deliver a frame to the device; return any emitted frames."""
+        dp = service.process(Frame(raw, src_port=0).pad())
+        return [bytearray(dp.tdata)] if dp.dst_ports else []
+
+    director = Director(service.my_mac, MAC_DIRECTOR, wire)
+
+    print("== install monitoring before any traffic ==")
+    for reply in director.direct("main_loop", "count calls main_loop"):
+        print("controller:", reply)
+    for reply in director.direct("main_loop", "trace start gets"):
+        print("controller:", reply)
+
+    print("\n== drive some traffic ==")
+    for index in range(5):
+        service.process(memcached_request(
+            build_ascii_set(b"k%d" % index, b"v%d" % index), index))
+    for index in range(3):
+        service.process(memcached_request(build_ascii_get(b"k0"),
+                                          10 + index))
+    inner = service.inner
+    print("service state: sets=%d gets=%d" % (inner.sets, inner.gets))
+
+    print("\n== interrogate the running program ==")
+    for reply in director.direct("main_loop", "print gets"):
+        print("controller:", reply)
+    print("CASP counter main_loop_calls_count =",
+          service.controller.machine.counter("main_loop_calls_count"))
+    print("CASP trace buffer of 'gets' =",
+          service.controller.machine.array("gets_trace_buf"))
+
+    print("\n== conditional breakpoint: stop when sets reaches 5 ==")
+    director.direct("main_loop", "break main_loop sets >= 5")
+    dp = service.process(memcached_request(build_ascii_get(b"k1"), 99))
+    print("traffic while stopped -> dst_ports=0x%x (dropped: program "
+          "is halted at the breakpoint)" % dp.dst_ports)
+
+    print("\n== resume via direction packets ==")
+    director.direct("main_loop", "uninstall break")
+    director.direct("main_loop", "resume")
+    dp = service.process(memcached_request(build_ascii_get(b"k1"), 100))
+    print("after resume -> dst_ports=0x%x (flowing again)" % dp.dst_ports)
+
+
+if __name__ == "__main__":
+    main()

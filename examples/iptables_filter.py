@@ -1,0 +1,66 @@
+"""The iptables-style filter front-end (§4.1).
+
+Programs the L3-L4 filter with familiar iptables syntax and slots it in
+front of the learning switch, then shows packets being accepted and
+dropped accordingly.
+
+Run:  python examples/iptables_filter.py
+"""
+
+from repro.core.protocols.tcp import TCPFlags, build_tcp
+from repro.core.protocols.udp import build_udp
+from repro.net.packet import Frame, ip_to_int, mac_to_int
+from repro.services import FilteringSwitch
+from repro.services.iptables_cli import IptablesCli
+
+MAC_A = mac_to_int("02:00:00:00:00:aa")
+MAC_B = mac_to_int("02:00:00:00:00:bb")
+
+
+def tcp_frame(dst_port, src_ip="10.0.0.2"):
+    return Frame(build_tcp(MAC_B, MAC_A, ip_to_int(src_ip),
+                           ip_to_int("10.0.0.3"), 1234, dst_port,
+                           TCPFlags.SYN), src_port=0).pad()
+
+
+def udp_frame(dst_port):
+    return Frame(build_udp(MAC_B, MAC_A, ip_to_int("10.0.0.2"),
+                           ip_to_int("10.0.0.3"), 1234, dst_port, b"x"),
+                 src_port=0).pad()
+
+
+def main():
+    switch = FilteringSwitch()
+    cli = IptablesCli(switch.filter)
+
+    commands = [
+        "-A FORWARD -p tcp --dport 23 -j DROP",          # no telnet
+        "-A FORWARD -p udp --dport 1000:2000 -j DROP",   # no games
+        "-A FORWARD -s 192.0.2.0/24 -j DROP",            # bad subnet
+        "-A FORWARD -j ACCEPT",
+    ]
+    for command in commands:
+        print("iptables %s   ->   %s" % (command, cli.run(command)))
+    print()
+    print(cli.run("-L"))
+
+    probes = [
+        ("TCP :22 (ssh)", tcp_frame(22)),
+        ("TCP :23 (telnet)", tcp_frame(23)),
+        ("UDP :1500", udp_frame(1500)),
+        ("UDP :53", udp_frame(53)),
+        ("TCP :80 from 192.0.2.7", tcp_frame(80, src_ip="192.0.2.7")),
+    ]
+    print()
+    for label, frame in probes:
+        dp = switch.process(frame)
+        verdict = "DROPPED" if dp.dropped else \
+            "forwarded (ports %s)" % bin(dp.dst_ports)
+        print("%-26s -> %s" % (label, verdict))
+
+    print("\nfilter statistics: accepted=%d filtered=%d"
+          % (switch.accepted, switch.filtered))
+
+
+if __name__ == "__main__":
+    main()

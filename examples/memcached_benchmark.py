@@ -1,0 +1,58 @@
+"""Memcached on the FPGA target under the memaslap workload (§5.4).
+
+Runs the 90% GET / 10% SET mix against the Emu Memcached service and
+its host-model baseline, printing the Table 4 row plus the 4-core
+scaling experiment.
+
+Run:  python examples/memcached_benchmark.py
+"""
+
+from repro.harness.multicore import run_multicore_scaling
+from repro.hoststack import host_memcached
+from repro.net.dag import LatencyCapture
+from repro.net.packet import ip_to_int
+from repro.net.workloads import memaslap_mix
+from repro.services import MemcachedService
+from repro.targets import FpgaTarget
+
+IP_SVC = ip_to_int("10.0.0.1")
+IP_CLI = ip_to_int("10.0.0.2")
+COUNT = 5000
+
+
+def main():
+    print("memaslap mix: 90%% GET / 10%% SET, %d requests" % COUNT)
+
+    emu = FpgaTarget(MemcachedService(my_ip=IP_SVC))
+    capture = LatencyCapture()
+    for request in memaslap_mix(IP_SVC, IP_CLI, count=COUNT):
+        _, latency_ns = emu.send(request)
+        if latency_ns is not None:
+            capture.record(latency_ns)
+    service = emu.service
+    print("\nEmu/FPGA:  avg %.2f us   99th %.2f us   tail ratio %.3f"
+          % (capture.average_us(), capture.p99_us(),
+             capture.tail_to_average()))
+    print("           gets=%d sets=%d hit rate %.0f%%"
+          % (service.gets, service.sets,
+             100.0 * service.hits / max(1, service.hits +
+                                        service.misses)))
+
+    host = host_memcached(MemcachedService(my_ip=IP_SVC))
+    host_capture = LatencyCapture()
+    for request in memaslap_mix(IP_SVC, IP_CLI, count=COUNT):
+        _, latency_us = host.send(request)
+        host_capture.record_us(latency_us)
+    print("Host:      avg %.2f us   99th %.2f us   tail ratio %.3f"
+          % (host_capture.average_us(), host_capture.p99_us(),
+             host_capture.tail_to_average()))
+    print("           max %.3f Mq/s (CPU-bound, 4 cores)"
+          % (host.max_qps() / 1e6))
+
+    print("\n=== 4 Emu cores, one per port (paper: 3.7x) ===")
+    _, _, speedup, text = run_multicore_scaling()
+    print(text)
+
+
+if __name__ == "__main__":
+    main()

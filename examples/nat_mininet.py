@@ -1,0 +1,80 @@
+"""The NAT multi-target demo (§4.4): one codebase, three targets.
+
+The paper compiles the NAT service to software, Mininet and hardware.
+This example runs the *same service object* on:
+
+1. the CPU target (plain process),
+2. the network simulator (a LAN host behind the gateway reaching a WAN
+   server — the Mininet role),
+3. the FPGA target (latency measurement).
+
+Run:  python examples/nat_mininet.py
+"""
+
+from repro.core.protocols.ethernet import EthernetWrapper
+from repro.core.protocols.ipv4 import IPv4Wrapper
+from repro.core.protocols.udp import UDPWrapper, build_udp
+from repro.net.packet import Frame, int_to_ip, ip_to_int, mac_to_int
+from repro.netsim import Network
+from repro.services import NatService
+from repro.targets import CpuTarget, FpgaTarget
+
+LAN_MAC = mac_to_int("02:00:00:00:00:aa")
+GW_MAC = mac_to_int("02:00:00:00:00:05")
+LAN_IP = ip_to_int("10.0.0.2")
+PUBLIC_IP = ip_to_int("198.51.100.1")
+REMOTE_IP = ip_to_int("203.0.113.9")
+
+
+def outbound_frame():
+    return Frame(build_udp(GW_MAC, LAN_MAC, LAN_IP, REMOTE_IP, 3333, 53,
+                           b"query"), src_port=0).pad()
+
+
+def main():
+    print("=== target 1: CPU (software semantics) ===")
+    cpu = CpuTarget(NatService(public_ip=PUBLIC_IP))
+    (port, translated), = cpu.send(outbound_frame())
+    ip = IPv4Wrapper(translated.data)
+    udp = UDPWrapper(translated.data)
+    print("outbound rewritten to %s:%d, out of WAN port %d"
+          % (int_to_ip(ip.source_ip_address), udp.source_port, port))
+
+    print("\n=== target 2: simulated network (the Mininet role) ===")
+    net = Network()
+    lan = net.add_host("lan")
+
+    def wan_server(request):
+        reply = request.copy()
+        EthernetWrapper(reply.data).swap_macs()
+        rip = IPv4Wrapper(reply.data)
+        rudp = UDPWrapper(reply.data)
+        rip.swap_ips()
+        rudp.swap_ports()
+        rip.update_checksum()
+        rudp.update_checksum(rip)
+        return reply
+
+    net.add_host("wan", responder=wan_server)
+    nat = NatService(public_ip=PUBLIC_IP)
+    net.add_service("gateway", nat, num_ports=2)
+    net.connect("lan", 0, "gateway", 0, latency_ns=1000)
+    net.connect("wan", 0, "gateway", 1, latency_ns=5000)
+    lan.send(outbound_frame())
+    net.run()
+    reply = lan.received[0]
+    print("LAN host got the reply back: dst %s:%d after %.1f us of "
+          "simulated time (translated out+in: %d+%d)"
+          % (int_to_ip(IPv4Wrapper(reply.data).destination_ip_address),
+             UDPWrapper(reply.data).destination_port,
+             net.now_ns / 1000.0, nat.translated_out, nat.translated_in))
+
+    print("\n=== target 3: FPGA (NetFPGA pipeline + timing model) ===")
+    fpga = FpgaTarget(NatService(public_ip=PUBLIC_IP))
+    _, latency_ns = fpga.send(outbound_frame())
+    print("gateway DUT latency: %.0f ns (Table 4: 1.32 us, vs 2.4 ms "
+          "for the loaded Linux gateway)" % latency_ns)
+
+
+if __name__ == "__main__":
+    main()

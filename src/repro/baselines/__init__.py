@@ -1,0 +1,16 @@
+"""Baseline designs the paper compares against (Table 3, Table 4).
+
+* :mod:`repro.baselines.reference_switch` — the NetFPGA SUME reference
+  learning switch, hand-written at netlist level (the "native Verilog"
+  baseline).
+* :mod:`repro.baselines.p4fpga` — a P4FPGA-style parse-match-action
+  pipeline switch: per-port parsers and a deep stage pipeline, which is
+  where its 85-cycle latency and ~7x resource cost come from.
+"""
+
+from repro.baselines.reference_switch import ReferenceSwitch, \
+    build_reference_switch
+from repro.baselines.p4fpga import P4FpgaSwitch, build_p4fpga_switch
+
+__all__ = ["ReferenceSwitch", "build_reference_switch", "P4FpgaSwitch",
+           "build_p4fpga_switch"]

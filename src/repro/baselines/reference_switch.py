@@ -1,0 +1,130 @@
+"""The NetFPGA SUME reference learning switch, at netlist level.
+
+This is the "native Verilog" baseline of Table 3: a hand-pipelined
+design with a fixed 6-cycle module latency and an initiation interval of
+one lookup per cycle, sharing the same CAM IP block as the Emu switch.
+
+Pipeline (one packet decision per stage per cycle):
+
+1. parse     — latch dst/src MAC and source port,
+2. search    — present the destination MAC to the CAM,
+3. capture   — register the CAM match and port,
+4. decide    — one-hot output port or broadcast mask,
+5. learn     — issue the source-MAC learn write,
+6. output    — registered result.
+"""
+
+from repro.ip.cam import BinaryCAM
+from repro.rtl import Module, Simulator, const, mux
+
+MODULE_LATENCY_CYCLES = 6
+
+
+def build_reference_switch(table_size=256, num_ports=4):
+    """Build the reference switch netlist around a CAM IP block."""
+    cam = BinaryCAM(key_width=48, value_width=8, depth=table_size)
+    cam_netlist = cam.build_netlist("mac_cam")
+
+    m = Module("reference_switch")
+    in_valid = m.input("in_valid", 1)
+    dst_mac = m.input("dst_mac", 48)
+    src_mac = m.input("src_mac", 48)
+    src_port = m.input("src_port", 8)
+
+    out_valid = m.output("out_valid", 1)
+    out_ports = m.output("out_ports", num_ports)
+
+    # Stage 1: parse registers.
+    s1_valid = m.reg("s1_valid", 1)
+    s1_dst = m.reg("s1_dst", 48)
+    s1_src = m.reg("s1_src", 48)
+    s1_port = m.reg("s1_port", 8)
+    m.sync(s1_valid, in_valid)
+    m.sync(s1_dst, dst_mac)
+    m.sync(s1_src, src_mac)
+    m.sync(s1_port, src_port)
+
+    # Stage 2: CAM search (combinational through the IP block).
+    cam_match = m.wire("cam_match", 1)
+    cam_value = m.wire("cam_value", 8)
+    m.instantiate(
+        "cam", cam_netlist,
+        search_key=s1_dst, write_en=s1_valid, write_key=s1_src,
+        write_value=s1_port, match=cam_match, value_out=cam_value)
+
+    s2_valid = m.reg("s2_valid", 1)
+    s2_match = m.reg("s2_match", 1)
+    s2_value = m.reg("s2_value", 8)
+    s2_port = m.reg("s2_port", 8)
+    m.sync(s2_valid, s1_valid)
+    m.sync(s2_match, cam_match)
+    m.sync(s2_value, cam_value)
+    m.sync(s2_port, s1_port)
+
+    # Stage 3: capture/normalise.
+    s3_valid = m.reg("s3_valid", 1)
+    s3_match = m.reg("s3_match", 1)
+    s3_value = m.reg("s3_value", 8)
+    s3_port = m.reg("s3_port", 8)
+    m.sync(s3_valid, s2_valid)
+    m.sync(s3_match, s2_match)
+    m.sync(s3_value, s2_value)
+    m.sync(s3_port, s2_port)
+
+    # Stage 4: decision.
+    all_ports = (1 << num_ports) - 1
+    one_hot = const(1, num_ports) << _low_bits(s3_value, num_ports)
+    bcast = const(all_ports, num_ports) ^ \
+        (const(1, num_ports) << _low_bits(s3_port, num_ports))
+    s4_valid = m.reg("s4_valid", 1)
+    s4_ports = m.reg("s4_ports", num_ports)
+    m.sync(s4_valid, s3_valid)
+    m.sync(s4_ports, mux(s3_match, one_hot, bcast))
+
+    # Stage 5: learn slot (the CAM write was issued in stage 2; this
+    # stage models the reference design's metadata queue).
+    s5_valid = m.reg("s5_valid", 1)
+    s5_ports = m.reg("s5_ports", num_ports)
+    m.sync(s5_valid, s4_valid)
+    m.sync(s5_ports, s4_ports)
+
+    # Stage 6: registered output.
+    s6_valid = m.reg("s6_valid", 1)
+    s6_ports = m.reg("s6_ports", num_ports)
+    m.sync(s6_valid, s5_valid)
+    m.sync(s6_ports, s5_ports)
+    m.comb(out_valid, s6_valid)
+    m.comb(out_ports, s6_ports)
+    return m
+
+
+def _low_bits(signal, num_ports):
+    bits_needed = max(1, (num_ports - 1).bit_length())
+    return signal[bits_needed - 1:0]
+
+
+class ReferenceSwitch:
+    """Simulation wrapper: feed MAC pairs, observe port decisions."""
+
+    def __init__(self, table_size=256, num_ports=4):
+        self.num_ports = num_ports
+        self.module = build_reference_switch(table_size, num_ports)
+        self.sim = Simulator(self.module)
+        self.latency = MODULE_LATENCY_CYCLES
+
+    def decide(self, dst_mac, src_mac, src_port):
+        """Run one lookup through the pipeline; returns (ports, cycles)."""
+        sim = self.sim
+        sim.poke("in_valid", 1)
+        sim.poke("dst_mac", dst_mac)
+        sim.poke("src_mac", src_mac)
+        sim.poke("src_port", src_port)
+        sim.step()
+        sim.poke("in_valid", 0)
+        cycles = 1
+        while not sim.peek("out_valid"):
+            sim.step()
+            cycles += 1
+        ports = sim.peek("out_ports")
+        sim.step()                     # drain the valid bit
+        return ports, cycles

@@ -1,0 +1,31 @@
+"""The Emu standard library (the paper's primary contribution).
+
+"The relationship of Emu to .NET/Kiwi is roughly analogous to that of
+the stdlib to C/GCC" — this package is that stdlib:
+
+* :mod:`repro.core.dataplane`  — the ``NetFPGA_Data`` bundle handed to a
+  service's main loop (frame bytes + sideband metadata).
+* :mod:`repro.core.netfpga`    — utility functions of Fig. 6
+  (``get_frame``/``set_frame``/``read_input_port``/``set_output_port``/…).
+* :mod:`repro.core.protocols`  — reusable parsers of Fig. 3/4 (Ethernet,
+  ARP, IPv4, ICMP, UDP, TCP, DNS, Memcached).
+* :mod:`repro.core.checksum`   — internet checksum and L4 pseudo-header
+  checksums.
+* :mod:`repro.core.hash_wrapper` — the Fig. 5 ``Seed()`` handshake over
+  the Pearson hash IP block.
+* :mod:`repro.core.lru`        — the Fig. 9 LRU cache (HashCAM +
+  NaughtyQ).
+"""
+
+from repro.core.dataplane import NetFPGAData
+from repro.core import netfpga as NetFPGA
+from repro.core.checksum import (
+    internet_checksum, verify_checksum, icmp_checksum, udp_checksum,
+    tcp_checksum,
+)
+from repro.core.lru import LRU, LookupResult
+
+__all__ = [
+    "NetFPGAData", "NetFPGA", "internet_checksum", "verify_checksum",
+    "icmp_checksum", "udp_checksum", "tcp_checksum", "LRU", "LookupResult",
+]

@@ -1,0 +1,56 @@
+"""Internet checksums (RFC 1071) and L4 pseudo-header checksums.
+
+The paper's §5.5 debugging anecdote is literally about a checksum bug
+found via direction packets; these functions are both the library code
+services use and the oracle the debug example checks against.
+"""
+
+
+def internet_checksum(data):
+    """One's-complement 16-bit checksum over *data*."""
+    data = bytes(data)
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+        total = (total & 0xFFFF) + (total >> 16)
+    # Fold any remaining carry.
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def verify_checksum(data):
+    """True iff *data* (with its checksum field in place) sums to zero."""
+    return internet_checksum(data) == 0
+
+
+def icmp_checksum(icmp_bytes):
+    """Checksum over the ICMP header+payload (checksum field zeroed)."""
+    return internet_checksum(icmp_bytes)
+
+
+def _pseudo_header(src_ip, dst_ip, protocol, length):
+    return bytes([
+        (src_ip >> 24) & 0xFF, (src_ip >> 16) & 0xFF,
+        (src_ip >> 8) & 0xFF, src_ip & 0xFF,
+        (dst_ip >> 24) & 0xFF, (dst_ip >> 16) & 0xFF,
+        (dst_ip >> 8) & 0xFF, dst_ip & 0xFF,
+        0, protocol,
+        (length >> 8) & 0xFF, length & 0xFF,
+    ])
+
+
+def udp_checksum(src_ip, dst_ip, udp_bytes):
+    """UDP checksum with IPv4 pseudo-header; 0 results become 0xFFFF."""
+    pseudo = _pseudo_header(src_ip, dst_ip, 17, len(udp_bytes))
+    value = internet_checksum(pseudo + bytes(udp_bytes))
+    # In UDP a computed 0 is transmitted as 0xFFFF (0 means "no checksum").
+    return value if value != 0 else 0xFFFF
+
+
+def tcp_checksum(src_ip, dst_ip, tcp_bytes):
+    """TCP checksum with IPv4 pseudo-header."""
+    pseudo = _pseudo_header(src_ip, dst_ip, 6, len(tcp_bytes))
+    return internet_checksum(pseudo + bytes(tcp_bytes))

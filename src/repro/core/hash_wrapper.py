@@ -1,0 +1,52 @@
+"""The Fig. 5 wrapper: driving the hash IP block's seed handshake.
+
+The paper's C# ``Seed()`` busy-waits on ``init_hash_ready`` with
+``Kiwi.Pause()`` between samples.  Here the same protocol is written as a
+generator — each ``yield`` is one ``Kiwi.Pause()`` — so the hardware
+target can step it cycle-by-cycle and the software target can just drain
+it.
+"""
+
+from repro.ip.pearson import PearsonHash
+from repro.kiwi.runtime import pause
+
+
+class HashWrapper:
+    """Cycle-level driver for :class:`~repro.ip.pearson.PearsonHash`."""
+
+    def __init__(self, core=None):
+        self.core = core if core is not None else PearsonHash()
+
+    def seed(self, data_in):
+        """Transcription of the paper's ``Seed(byte data_in)``.
+
+        Generator; the caller (or target runtime) must tick the hash core
+        once per yielded pause, mirroring the shared clock.
+        """
+        while self.core.init_hash_ready:
+            yield pause()
+        self.core.data_in = data_in
+        self.core.init_hash_enable = True
+        yield pause()
+        while not self.core.init_hash_ready:
+            yield pause()
+        yield pause()
+        self.core.init_hash_enable = False
+        yield pause()
+
+    def seed_bytes(self, data):
+        """Seed a whole byte string through the handshake."""
+        for byte in bytes(data):
+            for marker in self.seed(byte):
+                yield marker
+
+    def run_software(self, data):
+        """Software semantics: drain the handshake, ticking as we go."""
+        gen = self.seed_bytes(data)
+        for _ in gen:
+            self.core.tick()
+        return self.core.digest
+
+    @property
+    def digest(self):
+        return self.core.digest

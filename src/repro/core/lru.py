@@ -1,0 +1,83 @@
+"""The look-aside LRU cache of Fig. 9 — "a few lines" over two IP blocks.
+
+``Lookup`` consults HashCAM for the slot index, reads the value from
+NaughtyQ and refreshes recency; ``Cache`` enlists the value and records
+the slot in the CAM.  The paper contrasts this with P4, where eviction
+logic would have to live in the control plane.
+"""
+
+from repro.ip.cam import BinaryCAM
+from repro.ip.naughtyq import NaughtyQ
+
+
+class LookupResult:
+    """The paper's ``Data`` result object (``matched`` + ``result``)."""
+
+    __slots__ = ("matched", "result")
+
+    def __init__(self, matched=False, result=0):
+        self.matched = matched
+        self.result = result
+
+    def __repr__(self):
+        return "LookupResult(matched=%s, result=%d)" % (
+            self.matched, self.result)
+
+
+class LRU:
+    """Least-recently-used cache composed of HashCAM + NaughtyQ."""
+
+    def __init__(self, key_width=64, value_width=64, depth=64):
+        idx_bits = max(1, (depth - 1).bit_length())
+        self.hash_cam = BinaryCAM(key_width, idx_bits, depth)
+        self.naughty_q = NaughtyQ(value_width, depth)
+        self.depth = depth
+        self._slot_to_key = {}
+
+    def lookup(self, key_in):
+        """Fig. 9 ``Lookup``: CAM → queue read → refresh recency."""
+        res = LookupResult()
+        idx = self.hash_cam.lookup(key_in)
+        if self.hash_cam.matched:
+            res.matched = True
+            res.result = self.naughty_q.read(idx)
+            self.naughty_q.back_of_q(idx)
+        return res
+
+    def cache(self, key_in, value_in):
+        """Fig. 9 ``Cache``: enlist the value, map key → slot.
+
+        An already-cached key is updated in place (and refreshed),
+        rather than enlisting a second slot for the same key.
+        """
+        existing = self.hash_cam.lookup(key_in)
+        if self.hash_cam.matched:
+            self.naughty_q.update(existing, value_in)
+            self.naughty_q.back_of_q(existing)
+            return existing
+        idx = self.naughty_q.enlist(value_in)
+        evicted = self.naughty_q.last_evicted
+        if evicted is not None:
+            old_key = self._slot_to_key.pop(evicted[0], None)
+            if old_key is not None:
+                self.hash_cam.invalidate(old_key)
+        stale = self._slot_to_key.get(idx)
+        if stale is not None and stale != key_in:
+            self.hash_cam.invalidate(stale)
+        self.hash_cam.write(key_in, idx)
+        self._slot_to_key[idx] = key_in
+        return idx
+
+    def invalidate(self, key_in):
+        """Remove *key_in* (cache deletion)."""
+        queue_slot = self.hash_cam.lookup(key_in)
+        if not self.hash_cam.matched:
+            return False
+        self.hash_cam.invalidate(key_in)
+        self.naughty_q.release(queue_slot)
+        self._slot_to_key.pop(queue_slot, None)
+        return True
+
+    @property
+    def occupancy(self):
+        return self.naughty_q.occupancy

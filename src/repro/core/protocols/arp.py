@@ -1,0 +1,120 @@
+"""ARP over Ethernet (RFC 826), as instantiated in the NAT use case."""
+
+from repro.core.protocols.ethernet import EtherTypes, HEADER_BYTES, \
+    build_ethernet
+from repro.errors import ParseError
+from repro.utils.bitutil import BitUtil
+
+ARP_BYTES = 28
+OP_REQUEST = 1
+OP_REPLY = 2
+
+
+class ARPWrapper:
+    """Typed view of an ARP packet following the Ethernet header."""
+
+    def __init__(self, buf, offset=HEADER_BYTES):
+        if len(buf) < offset + ARP_BYTES:
+            raise ParseError("frame too short for ARP: %d bytes" % len(buf))
+        self._buf = buf
+        self._off = offset
+
+    @property
+    def hardware_type(self):
+        return BitUtil.get16(self._buf, self._off + 0)
+
+    @hardware_type.setter
+    def hardware_type(self, value):
+        BitUtil.set16(self._buf, self._off + 0, value)
+
+    @property
+    def protocol_type(self):
+        return BitUtil.get16(self._buf, self._off + 2)
+
+    @protocol_type.setter
+    def protocol_type(self, value):
+        BitUtil.set16(self._buf, self._off + 2, value)
+
+    @property
+    def hardware_size(self):
+        return BitUtil.get8(self._buf, self._off + 4)
+
+    @property
+    def protocol_size(self):
+        return BitUtil.get8(self._buf, self._off + 5)
+
+    @property
+    def opcode(self):
+        return BitUtil.get16(self._buf, self._off + 6)
+
+    @opcode.setter
+    def opcode(self, value):
+        BitUtil.set16(self._buf, self._off + 6, value)
+
+    @property
+    def sender_mac(self):
+        return BitUtil.get48(self._buf, self._off + 8)
+
+    @sender_mac.setter
+    def sender_mac(self, value):
+        BitUtil.set48(self._buf, self._off + 8, value)
+
+    @property
+    def sender_ip(self):
+        return BitUtil.get32(self._buf, self._off + 14)
+
+    @sender_ip.setter
+    def sender_ip(self, value):
+        BitUtil.set32(self._buf, self._off + 14, value)
+
+    @property
+    def target_mac(self):
+        return BitUtil.get48(self._buf, self._off + 18)
+
+    @target_mac.setter
+    def target_mac(self, value):
+        BitUtil.set48(self._buf, self._off + 18, value)
+
+    @property
+    def target_ip(self):
+        return BitUtil.get32(self._buf, self._off + 24)
+
+    @target_ip.setter
+    def target_ip(self, value):
+        BitUtil.set32(self._buf, self._off + 24, value)
+
+    @property
+    def is_request(self):
+        return self.opcode == OP_REQUEST
+
+    @property
+    def is_reply(self):
+        return self.opcode == OP_REPLY
+
+
+def _build_arp(opcode, sender_mac, sender_ip, target_mac, target_ip):
+    payload = bytearray(ARP_BYTES)
+    BitUtil.set16(payload, 0, 1)           # Ethernet
+    BitUtil.set16(payload, 2, EtherTypes.IPV4)
+    BitUtil.set8(payload, 4, 6)
+    BitUtil.set8(payload, 5, 4)
+    BitUtil.set16(payload, 6, opcode)
+    BitUtil.set48(payload, 8, sender_mac)
+    BitUtil.set32(payload, 14, sender_ip)
+    BitUtil.set48(payload, 18, target_mac)
+    BitUtil.set32(payload, 24, target_ip)
+    return payload
+
+
+def build_arp_request(sender_mac, sender_ip, target_ip):
+    """Who-has *target_ip*?  Broadcast frame."""
+    payload = _build_arp(OP_REQUEST, sender_mac, sender_ip, 0, target_ip)
+    return build_ethernet(0xFFFFFFFFFFFF, sender_mac, EtherTypes.ARP,
+                          payload)
+
+
+def build_arp_reply(sender_mac, sender_ip, target_mac, target_ip):
+    """*sender_ip* is-at *sender_mac*.  Unicast frame."""
+    payload = _build_arp(OP_REPLY, sender_mac, sender_ip, target_mac,
+                         target_ip)
+    return build_ethernet(target_mac, sender_mac, EtherTypes.ARP, payload)

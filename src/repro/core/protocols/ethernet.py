@@ -1,0 +1,78 @@
+"""Ethernet II framing."""
+
+from repro.errors import ParseError
+from repro.utils.bitutil import BitUtil
+
+HEADER_BYTES = 14
+
+
+class EtherTypes:
+    """Well-known EtherType values (paper Fig. 2 uses ``EtherTypes.IPv4``)."""
+
+    IPV4 = 0x0800
+    ARP = 0x0806
+    VLAN = 0x8100
+    IPV6 = 0x86DD
+    # The direction-packet EtherType is private/experimental (§3.5).
+    DIRECTION = 0x88B5
+
+
+class EthernetWrapper:
+    """Typed view of the Ethernet header at the start of a frame."""
+
+    def __init__(self, buf):
+        if len(buf) < HEADER_BYTES:
+            raise ParseError(
+                "frame too short for Ethernet header: %d bytes" % len(buf))
+        self._buf = buf
+
+    @property
+    def destination_mac(self):
+        return BitUtil.get48(self._buf, 0)
+
+    @destination_mac.setter
+    def destination_mac(self, value):
+        BitUtil.set48(self._buf, 0, value)
+
+    @property
+    def source_mac(self):
+        return BitUtil.get48(self._buf, 6)
+
+    @source_mac.setter
+    def source_mac(self, value):
+        BitUtil.set48(self._buf, 6, value)
+
+    @property
+    def ethertype(self):
+        return BitUtil.get16(self._buf, 12)
+
+    @ethertype.setter
+    def ethertype(self, value):
+        BitUtil.set16(self._buf, 12, value)
+
+    @property
+    def is_broadcast(self):
+        return self.destination_mac == 0xFFFFFFFFFFFF
+
+    @property
+    def is_multicast(self):
+        return bool((self.destination_mac >> 40) & 0x01)
+
+    def swap_macs(self):
+        """Swap source and destination (echo/reply services)."""
+        src, dst = self.source_mac, self.destination_mac
+        self.destination_mac = src
+        self.source_mac = dst
+
+    def payload_offset(self):
+        return HEADER_BYTES
+
+
+def build_ethernet(dst_mac, src_mac, ethertype, payload=b""):
+    """Assemble an Ethernet frame (unpadded; see ``Frame.pad``)."""
+    buf = bytearray(HEADER_BYTES)
+    BitUtil.set48(buf, 0, dst_mac)
+    BitUtil.set48(buf, 6, src_mac)
+    BitUtil.set16(buf, 12, ethertype)
+    buf.extend(payload)
+    return buf

@@ -1,0 +1,33 @@
+"""The direction subsystem: debugging, monitoring, profiling (§3.5).
+
+Emu "extends programs to interpret direction commands at runtime":
+
+* a **command language** (Table 2): ``print``, ``break``, ``watch``,
+  ``count``, ``trace``, ``backtrace`` — :mod:`repro.direction.commands`;
+* a **CASP machine** (counters, arrays, stored procedures) embedded in
+  the program as the *controller* — :mod:`repro.direction.casp`;
+* **lowering** of commands into CASP procedures (Fig. 7's ``trace``
+  example) — :mod:`repro.direction.lowering`;
+* **extension points** inserted into the program, where the controller's
+  procedures run (Fig. 8/11) — :mod:`repro.direction.extension`;
+* **direction packets** — a gdb-remote-serial-protocol analogue carrying
+  controller code/status over the network —
+  :mod:`repro.direction.packets`.
+"""
+
+from repro.direction.commands import DirectionCommand, parse_command
+from repro.direction.casp import CaspMachine, CaspProcedure, Op
+from repro.direction.controller import Controller, VariableAccessor
+from repro.direction.lowering import lower_command
+from repro.direction.extension import DirectedService, extension_point
+from repro.direction.packets import (
+    DIRECTION_ETHERTYPE, build_direction_packet, parse_direction_packet,
+    Director,
+)
+
+__all__ = [
+    "DirectionCommand", "parse_command", "CaspMachine", "CaspProcedure",
+    "Op", "Controller", "VariableAccessor", "lower_command",
+    "DirectedService", "extension_point", "DIRECTION_ETHERTYPE",
+    "build_direction_packet", "parse_direction_packet", "Director",
+]

@@ -1,0 +1,193 @@
+"""The controller embedded in a program (Fig. 8).
+
+Extending a program involves "(i) named extension points with
+runtime-modifiable code in a computationally weak language; and
+(ii) state used for book-keeping" — the controller owns both.  Program
+variables are exposed through an enumerated accessor table, as §5.5
+describes ("we form an enumerated type that corresponds to the program
+variables whose values the controller may access and change").
+
+The controller also models its hardware cost, which Table 5 reports:
+each feature class (read / write / increment) adds registers and mux
+logic around the program.
+"""
+
+from repro.direction.casp import CaspMachine, Op
+from repro.direction.commands import parse_command
+from repro.direction.lowering import lower_command
+from repro.errors import DirectionError
+from repro.rtl import Module, const, mux
+
+
+class VariableAccessor:
+    """Typed access to one program variable (one enum entry)."""
+
+    __slots__ = ("name", "getter", "setter")
+
+    def __init__(self, name, getter, setter=None):
+        self.name = name
+        self.getter = getter
+        self.setter = setter
+
+    def read(self):
+        return self.getter()
+
+    def write(self, value):
+        if self.setter is None:
+            raise DirectionError("variable %r is read-only" % self.name)
+        self.setter(value)
+
+
+class Controller:
+    """The CASP machine plus per-extension-point procedure tables."""
+
+    #: Feature classes (Table 5 rows): reading, writing, incrementing.
+    FEATURES = ("read", "write", "increment")
+
+    def __init__(self, features=("read",), array_capacity=64):
+        for feature in features:
+            if feature not in self.FEATURES:
+                raise DirectionError("unknown feature %r" % feature)
+        self.features = tuple(features)
+        self.machine = CaspMachine(array_capacity)
+        self.accessors = {}
+        self._points = {}            # point name -> [procedures]
+        self.break_hits = 0
+        self.program_stopped = False
+
+    # -- configuration -------------------------------------------------------
+
+    def expose(self, name, getter, setter=None):
+        """Add a program variable to the accessor enumeration."""
+        self.accessors[name] = VariableAccessor(name, getter, setter)
+
+    def add_point(self, name):
+        """Register a named extension point."""
+        self._points.setdefault(name, [])
+
+    def install(self, point, command_line):
+        """Parse + lower a command and attach it to an extension point.
+
+        Runtime-reconfigurable, per the paper: "the extension points at
+        runtime can be reconfigured to perform different debugging or
+        profiling functions."
+        """
+        if point not in self._points:
+            raise DirectionError("no extension point %r" % point)
+        command = parse_command(command_line)
+        self._check_feature(command)
+        procedure = lower_command(command)
+        self._points[point].append((command, procedure))
+        return procedure
+
+    def uninstall(self, point, verb=None):
+        """Remove procedures (all, or those of one verb) from a point."""
+        if point not in self._points:
+            raise DirectionError("no extension point %r" % point)
+        if verb is None:
+            self._points[point] = []
+        else:
+            self._points[point] = [
+                (cmd, proc) for cmd, proc in self._points[point]
+                if cmd.verb != verb
+            ]
+
+    def _check_feature(self, command):
+        needs = {"print": "read", "backtrace": "read", "trace": "read",
+                 "count": "increment", "break": "read", "watch": "read",
+                 "unbreak": "read", "unwatch": "read"}[command.verb]
+        if needs not in self.features:
+            raise DirectionError(
+                "command %r needs controller feature %r, compiled "
+                "features are %r" % (command.verb, needs, self.features))
+
+    # -- execution ------------------------------------------------------------
+
+    def _read_var(self, name):
+        accessor = self.accessors.get(name)
+        if accessor is None:
+            raise DirectionError("variable %r not in the accessor "
+                                 "enumeration" % name)
+        return accessor.read()
+
+    def _write_var(self, name, value):
+        if "write" not in self.features:
+            raise DirectionError("controller compiled without the "
+                                 "write feature")
+        accessor = self.accessors.get(name)
+        if accessor is None:
+            raise DirectionError("variable %r not in the accessor "
+                                 "enumeration" % name)
+        accessor.write(value)
+
+    def hit(self, point):
+        """The program crossed an extension point: run its procedures.
+
+        Returns ``True`` if execution should continue, ``False`` on a
+        breakpoint firing.
+        """
+        procedures = self._points.get(point)
+        if not procedures:
+            return True
+        for _, procedure in procedures:
+            outcome = self.machine.execute(
+                procedure, self._read_var, self._write_var)
+            if outcome == Op.BREAK:
+                self.break_hits += 1
+                self.program_stopped = True
+                return False
+        return True
+
+    def resume(self):
+        self.program_stopped = False
+
+    def replies(self):
+        return self.machine.drain_replies()
+
+    # -- hardware cost model (Table 5) ----------------------------------------
+
+    def build_netlist(self, name="controller", var_width=32):
+        """The controller's own logic, as synthesised next to the
+        program: procedure store, per-feature datapaths, reply buffer.
+        """
+        m = Module(name)
+        point_hit = m.input("point_hit", 1)
+        var_in = m.input("var_in", var_width)
+        var_out = m.output("var_out", var_width)
+        stopped = m.output("stopped", 1)
+
+        # Procedure store + program counter.
+        m.memory("proc_store", 16, 64)
+        pc = m.reg("pc", 6)
+        m.sync(pc, mux(point_hit, pc + const(1, 6), pc))
+        stop_reg = m.reg("stop_reg", 1)
+        m.sync(stop_reg, stop_reg)
+        m.comb(stopped, stop_reg)
+
+        result = const(0, var_width)
+        if "read" in self.features:
+            # Read datapath: capture register + trace buffer.
+            capture = m.reg("capture", var_width)
+            m.sync(capture, mux(point_hit, var_in, capture))
+            m.memory("trace_buf", var_width,
+                     self.machine.array_capacity)
+            trace_idx = m.reg("trace_idx", 8)
+            m.sync(trace_idx, mux(point_hit,
+                                  trace_idx + const(1, 8), trace_idx))
+            result = capture
+        if "write" in self.features:
+            # Write datapath: staged value driven into the program.
+            staged = m.reg("staged", var_width)
+            m.sync(staged, staged)
+            write_en = m.reg("write_en", 1)
+            m.sync(write_en, write_en)
+            result = mux(write_en, staged, result)
+        if "increment" in self.features:
+            counter = m.reg("event_counter", 32)
+            m.sync(counter, mux(point_hit,
+                                counter + const(1, 32), counter))
+            if result.width == var_width and "read" not in self.features \
+                    and "write" not in self.features:
+                result = const(0, var_width)
+        m.comb(var_out, result)
+        return m

@@ -1,0 +1,129 @@
+"""Lowering direction commands into CASP procedures (§3.5, Fig. 7).
+
+The paper's example lowers ``trace V max_trace_idx`` to:
+
+    if V_trace_idx < max_trace_idx then
+        V_trace_buf[V_trace_idx] := V; inc V_trace_idx; continue
+    else
+        inc V_trace_overflow; break
+
+Every Table 2 command gets the same treatment here.
+"""
+
+from repro.direction.casp import CaspProcedure, Op
+from repro.direction.commands import DirectionCommand
+from repro.errors import DirectionError
+
+
+def _condition_prelude(condition, skip_len):
+    """Instructions that skip *skip_len* following instructions when the
+    condition is false.  Empty when there is no condition."""
+    if condition is None:
+        return []
+    return [
+        (Op.PUSH_VAR, condition.var),
+        (Op.PUSH_CONST, condition.value),
+        (Op.CMP, condition.op),
+        (Op.JUMP_IF_FALSE, skip_len),
+    ]
+
+
+def lower_command(command):
+    """Translate one :class:`DirectionCommand` into a CASP procedure."""
+    verb = command.verb
+    target = command.target
+
+    if verb == "print":
+        return CaspProcedure("print_%s" % target, [
+            (Op.PUSH_VAR, target),
+            (Op.REPLY, target),
+            (Op.CONTINUE,),
+        ])
+
+    if verb == "backtrace":
+        return CaspProcedure("backtrace", [
+            (Op.PUSH_VAR, "__callstack__"),
+            (Op.REPLY, "backtrace"),
+            (Op.CONTINUE,),
+        ])
+
+    if verb == "break":
+        body = [(Op.BREAK,)]
+        return CaspProcedure(
+            "break_%s" % target,
+            _condition_prelude(command.condition, len(body)) + body +
+            [(Op.CONTINUE,)])
+
+    if verb == "watch":
+        # Fires on update sites: the extension point for writes to the
+        # variable runs this procedure.
+        body = [(Op.BREAK,)]
+        return CaspProcedure(
+            "watch_%s" % target,
+            _condition_prelude(command.condition, len(body)) + body +
+            [(Op.CONTINUE,)])
+
+    if verb == "count":
+        counter = "%s_%s_count" % (target, command.subverb)
+        body = [(Op.INC_COUNTER, counter)]
+        return CaspProcedure(
+            "count_%s" % counter,
+            _condition_prelude(command.condition, len(body)) + body +
+            [(Op.CONTINUE,)])
+
+    if verb == "trace":
+        return _lower_trace(command)
+
+    raise DirectionError("cannot lower %r" % (command,))
+
+
+def _lower_trace(command):
+    target = command.target
+    sub = command.subverb
+    buf = "%s_trace_buf" % target
+    overflow = "%s_trace_overflow" % target
+
+    if sub == "start":
+        # Fig. 7: append while the buffer has room, else count overflow
+        # and break.
+        body = [
+            (Op.PUSH_VAR, target),
+            (Op.APPEND_ARRAY, buf),       # pushes 1 on success
+            (Op.JUMP_IF_FALSE, 2),        # full -> overflow path
+            (Op.INC_COUNTER, "%s_trace_idx" % target),
+            (Op.CONTINUE,),
+            (Op.INC_COUNTER, overflow),
+            (Op.BREAK,),
+        ]
+        return CaspProcedure(
+            "trace_%s" % target,
+            _condition_prelude(command.condition, len(body)) + body +
+            [(Op.CONTINUE,)])
+
+    if sub == "stop":
+        return CaspProcedure("trace_stop_%s" % target, [(Op.CONTINUE,)])
+
+    if sub == "clear":
+        # Clearing is a machine-level action; emit a procedure that
+        # reports the clear so the director sees an acknowledgement.
+        return CaspProcedure("trace_clear_%s" % target, [
+            (Op.PUSH_CONST, 0),
+            (Op.REPLY, "cleared:%s" % target),
+            (Op.CONTINUE,),
+        ])
+
+    if sub == "print":
+        return CaspProcedure("trace_print_%s" % target, [
+            (Op.ARRAY_LEN, buf),
+            (Op.REPLY, buf),
+            (Op.CONTINUE,),
+        ])
+
+    if sub == "full":
+        return CaspProcedure("trace_full_%s" % target, [
+            (Op.ARRAY_LEN, buf),
+            (Op.REPLY, "%s_full" % buf),
+            (Op.CONTINUE,),
+        ])
+
+    raise DirectionError("unknown trace subcommand %r" % sub)

@@ -1,0 +1,96 @@
+"""Direction packets: remote debugging over the network (§3.5).
+
+"Direction packets are network packets in a custom and simple packet
+format, whose payload consists of (i) code to be executed by the
+controller; or (ii) status replies from the controller to the director.
+It enables us to remotely direct a running program, similar to gdb's
+remote serial protocol."
+
+Format (after the Ethernet header, EtherType 0x88B5):
+
+    magic    2 bytes  0xD1 0x4C
+    kind     1 byte   1 = command, 2 = reply
+    seq      2 bytes
+    point    1 byte   length of the extension-point name
+    payload  ...      <point name><command text>  /  <reply text>
+"""
+
+from repro.core.protocols.ethernet import EthernetWrapper, EtherTypes, \
+    build_ethernet
+from repro.errors import DirectionError, ParseError
+from repro.utils.bitutil import BitUtil
+
+DIRECTION_ETHERTYPE = EtherTypes.DIRECTION
+MAGIC = b"\xD1\x4C"
+KIND_COMMAND = 1
+KIND_REPLY = 2
+
+
+def build_direction_packet(dst_mac, src_mac, kind, seq, point, text):
+    """Assemble a direction frame."""
+    point_bytes = point.encode("ascii")
+    text_bytes = text.encode("ascii")
+    if len(point_bytes) > 255:
+        raise DirectionError("extension point name too long")
+    payload = bytearray(MAGIC)
+    payload.append(kind)
+    payload.extend(int(seq).to_bytes(2, "big"))
+    payload.append(len(point_bytes))
+    payload.extend(point_bytes)
+    payload.extend(text_bytes)
+    return build_ethernet(dst_mac, src_mac, DIRECTION_ETHERTYPE, payload)
+
+
+def is_direction_frame(tdata):
+    """The Fig. 11 check: is this packet for the controller?"""
+    return len(tdata) >= 20 and \
+        BitUtil.get16(tdata, 12) == DIRECTION_ETHERTYPE and \
+        bytes(tdata[14:16]) == MAGIC
+
+
+def parse_direction_packet(tdata):
+    """Decode a direction frame → (kind, seq, point, text)."""
+    if not is_direction_frame(tdata):
+        raise ParseError("not a direction packet")
+    kind = tdata[16]
+    seq = BitUtil.get16(tdata, 17)
+    point_len = tdata[19]
+    point_end = 20 + point_len
+    if len(tdata) < point_end:
+        raise ParseError("truncated direction packet")
+    point = bytes(tdata[20:point_end]).decode("ascii")
+    text = bytes(tdata[point_end:]).decode("ascii", "replace")
+    return kind, seq, point, text.rstrip("\x00")
+
+
+class Director:
+    """The remote debugger: builds commands, consumes replies (Fig. 8).
+
+    *send(frame)* is whatever transports frames to the target (an
+    FpgaTarget, a netsim link, a CPU target...).
+    """
+
+    def __init__(self, target_mac, my_mac, send):
+        self.target_mac = target_mac
+        self.my_mac = my_mac
+        self._send = send
+        self._seq = 0
+        self.replies = []
+
+    def direct(self, point, command_line):
+        """Send one command at an extension point; collect replies."""
+        self._seq = (self._seq + 1) & 0xFFFF
+        frame_bytes = build_direction_packet(
+            self.target_mac, self.my_mac, KIND_COMMAND, self._seq,
+            point, command_line)
+        responses = self._send(frame_bytes)
+        collected = []
+        for response in responses or []:
+            eth = EthernetWrapper(response)
+            if eth.ethertype != DIRECTION_ETHERTYPE:
+                continue
+            kind, seq, _, text = parse_direction_packet(response)
+            if kind == KIND_REPLY and seq == self._seq:
+                collected.append(text)
+        self.replies.extend(collected)
+        return collected

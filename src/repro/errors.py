@@ -1,0 +1,59 @@
+"""Exception hierarchy for the Emu reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch framework errors without masking programming mistakes.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class BitRangeError(ReproError, ValueError):
+    """A bit/byte access fell outside the backing buffer."""
+
+
+class WidthError(ReproError, ValueError):
+    """An operation mixed incompatible bit widths."""
+
+
+class ParseError(ReproError, ValueError):
+    """A packet or protocol header could not be parsed."""
+
+
+class CompileError(ReproError):
+    """The Kiwi compiler rejected an input program."""
+
+    def __init__(self, message, node=None):
+        self.node = node
+        if node is not None and hasattr(node, "lineno"):
+            message = "line %d: %s" % (node.lineno, message)
+        super().__init__(message)
+
+
+class ScheduleError(CompileError):
+    """The scheduler could not place operations into clock cycles."""
+
+
+class SimulationError(ReproError):
+    """The RTL simulator hit an inconsistent state (e.g. comb. loop)."""
+
+
+class ProtocolError(ReproError):
+    """An IP-block handshake or wire protocol was violated."""
+
+
+class DirectionError(ReproError):
+    """A direction (debug) command was malformed or unsupported."""
+
+
+class TargetError(ReproError):
+    """A heterogeneous target could not run the requested service."""
+
+
+class NetSimError(ReproError):
+    """The network simulator was misconfigured."""
+
+
+class HostModelError(ReproError):
+    """The host-stack model received invalid parameters."""

@@ -1,0 +1,18 @@
+"""Evaluation harness: one module per paper table/figure (§5).
+
+* :mod:`repro.harness.tables`    — Table 1 (solution comparison) and
+  Table 2 (direction commands) as data + renderers.
+* :mod:`repro.harness.table3`    — switch comparison (resources,
+  module latency, throughput).
+* :mod:`repro.harness.table4`    — Emu vs host across five services.
+* :mod:`repro.harness.table5`    — debug-controller overhead.
+* :mod:`repro.harness.multicore` — §5.4 four-core Memcached scaling.
+* :mod:`repro.harness.ablations` — design-choice ablations called out
+  in DESIGN.md (CAM IP vs language CAM, pause density vs timing,
+  on-chip vs DRAM storage, single vs multi-threaded resource ratio).
+* :mod:`repro.harness.report`    — fixed-width table rendering.
+"""
+
+from repro.harness.report import render_table
+
+__all__ = ["render_table"]

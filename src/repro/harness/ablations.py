@@ -1,0 +1,121 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+* CAM as IP block vs CAM in the language (§4.1's trade-off).
+* Pause density vs timing closure (§3.4: too much work per cycle and
+  the design fails).
+* Memcached on-chip vs DRAM value storage (§5.4 "Optimizations").
+* Single- vs multi-threaded resource ratio (§5.3's ClickNP comparison:
+  Emu 0.7x single-thread vs 1.2x multi-thread of the reference parser).
+"""
+
+from repro.harness.report import render_table
+from repro.harness.table4 import CLIENT_IP, SERVICE_IP
+from repro.ip.cam import BinaryCAM, RegisterCAM
+from repro.kiwi import compile_function, compile_threads
+from repro.net.dag import LatencyCapture
+from repro.net.workloads import memaslap_mix
+from repro.rtl import estimate_resources
+from repro.services import MemcachedService
+from repro.services.switch import switch_kernel
+from repro.targets.fpga import FpgaTarget
+
+
+def cam_ip_vs_language(depth=64, key_width=48, value_width=8):
+    """Resource/timing comparison of the two CAM options (§4.1)."""
+    ip_cam = BinaryCAM(key_width, value_width, depth).build_netlist("ip")
+    lang_cam = RegisterCAM(key_width, value_width, depth) \
+        .build_netlist("lang")
+    ip_report = estimate_resources(ip_cam)
+    lang_report = estimate_resources(lang_cam)
+    rows = [
+        ["CAM IP block", ip_report.logic, ip_report.ffs],
+        ["CAM in Emu (language)", lang_report.logic, lang_report.ffs],
+    ]
+    text = render_table(["Implementation", "Logic", "FFs"], rows,
+                        title="Ablation: CAM IP block vs language CAM")
+    return ip_report, lang_report, text
+
+
+def pause_density_vs_timing():
+    """The §3.4 schedule trade-off, made quantitative.
+
+    The same computation written with coarse pauses packs more logic
+    levels per cycle (fails timing sooner) but finishes in fewer
+    cycles; fine pauses do the opposite.
+    """
+    def coarse(a: "u32", b: "u32") -> "u32":
+        x = a * b + a
+        y = x * 3 + b
+        z = y * 5 + x
+        w = z * 7 + y
+        pause()
+        return bits(w, 32)
+
+    def fine(a: "u32", b: "u32") -> "u32":
+        x = a * b + a
+        pause()
+        y = x * 3 + b
+        pause()
+        z = y * 5 + x
+        pause()
+        w = z * 7 + y
+        pause()
+        return bits(w, 32)
+
+    coarse_design = compile_function(coarse)
+    fine_design = compile_function(fine)
+    rows = [
+        ["coarse (1 pause)", coarse_design.state_count,
+         coarse_design.timing.max_logic_levels],
+        ["fine (4 pauses)", fine_design.state_count,
+         fine_design.timing.max_logic_levels],
+    ]
+    text = render_table(
+        ["Schedule", "FSM states (latency)", "Max logic levels"],
+        rows, title="Ablation: pause density vs timing")
+    return coarse_design, fine_design, text
+
+
+def memcached_storage_latency(count=400, seed=23):
+    """On-chip SRAM vs on-board DRAM value storage (§5.4).
+
+    DRAM is bigger but adds latency and *variance* (refresh collisions)
+    — exactly the trade-off the paper describes.
+    """
+    results = {}
+    for storage in ("onchip", "dram"):
+        service = MemcachedService(my_ip=SERVICE_IP, storage=storage)
+        target = FpgaTarget(service, seed=seed)
+        capture = LatencyCapture()
+        for frame in memaslap_mix(SERVICE_IP, CLIENT_IP, count=count,
+                                  seed=seed):
+            _, latency_ns = target.send(frame)
+            if latency_ns is not None:
+                capture.record(latency_ns)
+        results[storage] = capture
+    rows = [[storage, "%.3f" % cap.average_us(), "%.3f" % cap.p99_us(),
+             "%.4f" % cap.stddev_us()]
+            for storage, cap in results.items()]
+    text = render_table(
+        ["Storage", "Avg (us)", "99th (us)", "Stddev (us)"], rows,
+        title="Ablation: Memcached value storage (on-chip vs DRAM)")
+    return results, text
+
+
+def thread_scaling_resources(num_threads=4):
+    """Single- vs multi-threaded switch kernel resources (§5.3).
+
+    Hardware thread semantics wires N kernels as parallel circuits;
+    resources scale ~linearly while per-port throughput multiplies.
+    """
+    single = compile_function(switch_kernel).resources()
+    _, multi = compile_threads([switch_kernel] * num_threads,
+                               name="switch_x%d" % num_threads)
+    ratio = multi.logic / single.logic
+    rows = [
+        ["single thread", single.logic, "1.00"],
+        ["%d threads" % num_threads, multi.logic, "%.2f" % ratio],
+    ]
+    text = render_table(["Configuration", "Logic", "Ratio"], rows,
+                        title="Ablation: hardware thread scaling")
+    return single, multi, text

@@ -1,0 +1,82 @@
+"""§5.4 multi-core scaling: four Memcached cores, one per port.
+
+"Using four Emu cores (one per port) further increases [throughput]
+by 3.7x when considering a workload of 90% GET and 10% SET requests.
+SET requests must be applied to all instances."
+"""
+
+from repro.core.protocols.ipv4 import IPv4Wrapper
+from repro.core.protocols.memcached import split_udp_frame
+from repro.core.protocols.udp import UDPWrapper
+from repro.harness.report import render_table
+from repro.harness.table4 import CLIENT_IP, SERVICE_IP
+from repro.net.workloads import memaslap_mix
+from repro.services import MemcachedService
+from repro.targets.fpga import FpgaTarget
+from repro.targets.multicore import MultiCoreTarget
+
+
+def _is_write(frame):
+    """Classify a memcached-over-UDP frame as a SET (write)."""
+    try:
+        udp = UDPWrapper(frame.data)
+        _, body = split_udp_frame(udp.payload())
+    except Exception:
+        return False
+    if body[:1] == b"\x80":
+        return body[1] == 0x01                # binary SET
+    return body[:4] == b"set "                # ASCII SET
+
+
+def _frames(get_ratio, count=64, seed=17):
+    return list(memaslap_mix(SERVICE_IP, CLIENT_IP, count=count,
+                             get_ratio=get_ratio, seed=seed))
+
+
+def run_multicore_scaling(num_cores=4, write_ratio=0.1, seed=17):
+    """Single core vs *num_cores* cores on the 90/10 memaslap mix.
+
+    Returns ``(single_qps, multi_qps, speedup, text)``.
+    """
+    def factory():
+        return MemcachedService(my_ip=SERVICE_IP)
+
+    reads = [f for f in _frames(1.0, count=8, seed=seed) if
+             not _is_write(f)]
+    writes = [f for f in _frames(0.0, count=8, seed=seed + 1) if
+              _is_write(f)]
+    read_frame, write_frame = reads[0], writes[0]
+
+    single = FpgaTarget(factory(), seed=seed)
+    read_qps = single.max_qps(read_frame.copy())
+    write_qps = single.max_qps(write_frame.copy())
+    # One core serves the whole mix serially.
+    single_qps = 1.0 / (write_ratio / write_qps +
+                        (1.0 - write_ratio) / read_qps)
+
+    multi = MultiCoreTarget(factory, num_cores=num_cores, seed=seed,
+                            is_write=_is_write)
+    multi_qps = multi.max_qps(read_frame, write_frame, write_ratio)
+    speedup = multi_qps / single_qps
+
+    text = render_table(
+        ["Configuration", "Throughput (Mq/s)", "Speedup"],
+        [["1 core", "%.3f" % (single_qps / 1e6), "1.00"],
+         ["%d cores (one per port)" % num_cores,
+          "%.3f" % (multi_qps / 1e6), "%.2f" % speedup]],
+        title="Multi-core Memcached scaling (90%% GET / 10%% SET)")
+    return single_qps, multi_qps, speedup, text
+
+
+def functional_replication_check(num_cores=4, seed=17):
+    """SETs reach every core; GETs are answered by the local core."""
+    def factory():
+        return MemcachedService(my_ip=SERVICE_IP)
+
+    multi = MultiCoreTarget(factory, num_cores=num_cores, seed=seed,
+                            is_write=_is_write)
+    set_frames = [f for f in _frames(0.0, count=4, seed=seed + 2)
+                  if _is_write(f)]
+    frame = set_frames[0]
+    multi.send(frame.copy(), port=1)
+    return [len(target.service._store) for target in multi.cores]

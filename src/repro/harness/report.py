@@ -1,0 +1,31 @@
+"""Fixed-width table rendering for experiment reports."""
+
+
+def render_table(headers, rows, title=None):
+    """Render a list-of-lists as an aligned text table."""
+    columns = len(headers)
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError("row %r has %d cells, expected %d"
+                             % (row, len(row), columns))
+        cells.append([_fmt(value) for value in row])
+    widths = [max(len(row[i]) for row in cells) for i in range(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(cells[0])))
+    lines.append("  ".join("-" * widths[i] for i in range(columns)))
+    for row in cells[1:]:
+        lines.append("  ".join(row[i].ljust(widths[i])
+                               for i in range(columns)))
+    return "\n".join(lines)
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        if value >= 100:
+            return "%.1f" % value
+        return "%.3f" % value
+    return str(value)

@@ -1,0 +1,157 @@
+"""Table 4: Emu-based services vs host-based services.
+
+For each of the five services: average latency, 99th-percentile
+latency, and maximum throughput — Emu (FPGA target) against the host
+(Linux stack model).  Methodology follows §5.2: latency from DUT-only
+captures (DAG model) over *count* packets; throughput from the OSNT
+rate search.
+"""
+
+from repro.harness.report import render_table
+from repro.hoststack import (
+    host_dns, host_icmp_echo, host_memcached, host_nat, host_tcp_ping,
+)
+from repro.net.dag import LatencyCapture
+from repro.net.osnt import OsntTrafficGenerator
+from repro.net.packet import ip_to_int
+from repro.net.workloads import (
+    dns_query_stream, memaslap_mix, ping_flood, tcp_syn_stream,
+)
+from repro.services import (
+    DnsServerService, IcmpEchoService, MemcachedService, NatService,
+    TcpPingService,
+)
+from repro.targets.fpga import FpgaTarget
+
+SERVICE_IP = ip_to_int("10.0.0.1")
+CLIENT_IP = ip_to_int("10.0.0.2")
+PUBLIC_IP = ip_to_int("198.51.100.1")
+
+DNS_NAMES = ["host%02d.example" % i for i in range(16)]
+
+
+class ServiceResult:
+    """One service's Emu-vs-host measurements."""
+
+    def __init__(self, name):
+        self.name = name
+        self.emu_avg_us = None
+        self.emu_p99_us = None
+        self.emu_mqps = None
+        self.host_avg_us = None
+        self.host_p99_us = None
+        self.host_mqps = None
+
+    def row(self):
+        return [self.name,
+                "%.2f" % self.emu_avg_us, "%.2f" % self.emu_p99_us,
+                "%.3f" % self.emu_mqps,
+                "%.2f" % self.host_avg_us, "%.2f" % self.host_p99_us,
+                "%.3f" % self.host_mqps]
+
+    @property
+    def emu_tail_ratio(self):
+        return self.emu_p99_us / self.emu_avg_us
+
+    @property
+    def host_tail_ratio(self):
+        return self.host_p99_us / self.host_avg_us
+
+
+def _service_workloads(count, seed=3):
+    """(name, emu service factory, host wrapper, workload factory)."""
+    def dns_factory():
+        return DnsServerService(
+            my_ip=SERVICE_IP,
+            table={name: ip_to_int("192.0.2.%d" % (i + 1))
+                   for i, name in enumerate(DNS_NAMES)})
+
+    return [
+        ("ICMP Echo",
+         lambda: IcmpEchoService(my_ip=SERVICE_IP),
+         host_icmp_echo,
+         lambda: ping_flood(SERVICE_IP, CLIENT_IP, count=count)),
+        ("TCP Ping",
+         lambda: TcpPingService(my_ip=SERVICE_IP, open_ports=(7,)),
+         host_tcp_ping,
+         lambda: tcp_syn_stream(SERVICE_IP, CLIENT_IP, dst_port=7,
+                                count=count, seed=seed)),
+        ("DNS",
+         dns_factory,
+         host_dns,
+         lambda: dns_query_stream(SERVICE_IP, CLIENT_IP, DNS_NAMES,
+                                  count=count, seed=seed)),
+        ("NAT",
+         lambda: NatService(public_ip=PUBLIC_IP),
+         host_nat,
+         lambda: _nat_outbound_stream(count, seed)),
+        ("Memcached",
+         lambda: MemcachedService(my_ip=SERVICE_IP),
+         host_memcached,
+         lambda: memaslap_mix(SERVICE_IP, CLIENT_IP, count=count,
+                              seed=seed)),
+    ]
+
+
+def _nat_outbound_stream(count, seed):
+    """UDP flows from the LAN side through the gateway (§5.4 setup)."""
+    from repro.core.protocols.udp import build_udp
+    from repro.net.packet import Frame
+    import random
+    rng = random.Random(seed)
+    remote = ip_to_int("203.0.113.9")
+    for index in range(count):
+        frame = Frame(build_udp(
+            0x02_00_00_00_00_05, 0x02_00_00_00_00_AA,
+            CLIENT_IP, remote, rng.randint(2000, 60000), 53,
+            b"payload-%04d" % (index % 10000)), src_port=0)
+        yield frame.pad()
+
+
+def measure_service(name, emu_factory, host_wrapper, workload_factory,
+                    count=2000, seed=3):
+    """Measure one Table 4 row (Emu and host sides)."""
+    result = ServiceResult(name)
+    osnt = OsntTrafficGenerator(resolution_qps=100.0)
+
+    # -- Emu side ----------------------------------------------------------
+    emu = FpgaTarget(emu_factory(), seed=seed)
+    capture = LatencyCapture()
+    probe_frame = None
+    for frame in workload_factory():
+        if probe_frame is None:
+            probe_frame = frame.copy()
+        _, latency_ns = emu.send(frame)
+        if latency_ns is not None:
+            capture.record(latency_ns)
+    result.emu_avg_us = capture.average_us()
+    result.emu_p99_us = capture.p99_us()
+    result.emu_mqps = osnt.measure(
+        FpgaTarget(emu_factory(), seed=seed), probe_frame) / 1e6
+
+    # -- host side ---------------------------------------------------------
+    host = host_wrapper(emu_factory(), seed=seed)
+    host_capture = LatencyCapture()
+    for frame in workload_factory():
+        _, latency_us = host.send(frame)
+        host_capture.record_us(latency_us)
+    result.host_avg_us = host_capture.average_us()
+    result.host_p99_us = host_capture.p99_us()
+    result.host_mqps = osnt.measure(host, probe_frame) / 1e6
+    return result
+
+
+def run_table4(count=2000, seed=3):
+    """All five services; returns (results, rendered text)."""
+    results = []
+    for name, emu_factory, host_wrapper, workload_factory in \
+            _service_workloads(count, seed):
+        results.append(measure_service(
+            name, emu_factory, host_wrapper, workload_factory,
+            count=count, seed=seed))
+    text = render_table(
+        ["Service", "Emu avg (us)", "Emu 99th (us)", "Emu Mq/s",
+         "Host avg (us)", "Host 99th (us)", "Host Mq/s"],
+        [r.row() for r in results],
+        title="Table 4: services on Emu vs on a host")
+    return results, text

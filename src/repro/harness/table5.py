@@ -1,0 +1,136 @@
+"""Table 5: profile of utilisation and performance with the debug
+controller (DNS and Memcached, features +R / +W / +I).
+
+Utilisation: the service kernel is compiled by Kiwi, the controller
+variant netlist is added, and the ratio against the controller-free
+design is reported (the paper normalises the bare service to 100%).
+
+Performance: the service runs on the FPGA target wrapped in
+:class:`~repro.direction.extension.DirectedService`; 99th-percentile
+latency and query rate are compared against the bare run.
+"""
+
+from repro.direction.controller import Controller
+from repro.direction.extension import DirectedService
+from repro.harness.report import render_table
+from repro.harness.table4 import (
+    CLIENT_IP, DNS_NAMES, SERVICE_IP, dns_query_stream, memaslap_mix,
+)
+from repro.kiwi import compile_function
+from repro.net.dag import LatencyCapture
+from repro.net.packet import ip_to_int
+from repro.rtl import estimate_resources
+from repro.services import DnsServerService, MemcachedService
+from repro.services.dns_server import dns_kernel
+from repro.services.memcached import memcached_kernel
+from repro.targets.fpga import FpgaTarget
+
+FEATURE_VARIANTS = [
+    ("+R", ("read",)),
+    ("+W", ("read", "write")),
+    ("+I", ("read", "increment")),
+]
+
+
+def _controller_logic(features):
+    controller = Controller(features=features)
+    return estimate_resources(controller.build_netlist()).logic
+
+
+def utilisation_profile(kernel):
+    """Logic utilisation of kernel alone and with each variant (%)."""
+    base = compile_function(kernel).resources().logic
+    rows = {"base": 100.0}
+    for label, features in FEATURE_VARIANTS:
+        rows[label] = 100.0 * (base + _controller_logic(features)) / base
+    return rows
+
+
+def _measure_performance(service_factory, workload_factory, features,
+                         count=600, seed=5):
+    """(p99 latency us, max qps) for one service variant."""
+    service = service_factory()
+    if features is not None:
+        service = DirectedService(service, features=features)
+        # A representative installed command per feature class, so the
+        # extension point does real work on every main-loop crossing.
+        variable = sorted(service.controller.accessors)[0]
+        if "increment" in features:
+            command = "count reads %s" % variable
+        else:
+            command = "print %s" % variable
+        service.controller.install("main_loop", command)
+    target = FpgaTarget(service, seed=seed)
+    capture = LatencyCapture()
+    probe = None
+    for frame in workload_factory(count):
+        if probe is None:
+            probe = frame.copy()
+        _, latency_ns = target.send(frame)
+        if latency_ns is not None:
+            capture.record(latency_ns)
+    qps = FpgaTarget(service, seed=seed).max_qps(probe)
+    return capture.p99_us(), qps
+
+
+def performance_profile(service_factory, workload_factory, count=600,
+                        seed=5):
+    """Latency/qps of each variant relative to the bare service (%)."""
+    base_p99, base_qps = _measure_performance(
+        service_factory, workload_factory, None, count, seed)
+    rows = {"base": (100.0, 100.0)}
+    for label, features in FEATURE_VARIANTS:
+        p99, qps = _measure_performance(
+            service_factory, workload_factory, features, count, seed)
+        rows[label] = (100.0 * base_p99 / p99 if p99 else 0.0,
+                       100.0 * qps / base_qps)
+    return rows
+
+
+def _dns_factory():
+    return DnsServerService(
+        my_ip=SERVICE_IP,
+        table={name: ip_to_int("192.0.2.%d" % (i + 1))
+               for i, name in enumerate(DNS_NAMES)})
+
+
+def _dns_workload(count):
+    return dns_query_stream(SERVICE_IP, CLIENT_IP, DNS_NAMES, count=count)
+
+
+def _memcached_factory():
+    return MemcachedService(my_ip=SERVICE_IP)
+
+
+def _memcached_workload(count):
+    return memaslap_mix(SERVICE_IP, CLIENT_IP, count=count)
+
+
+def run_table5(count=600, seed=5):
+    """Both services, all variants; returns (rows, rendered text)."""
+    artefacts = [
+        ("DNS", dns_kernel, _dns_factory, _dns_workload),
+        ("Memcached", memcached_kernel, _memcached_factory,
+         _memcached_workload),
+    ]
+    table_rows = []
+    data = {}
+    for name, kernel, factory, workload in artefacts:
+        util = utilisation_profile(kernel)
+        perf = performance_profile(factory, workload, count, seed)
+        data[name] = {"utilisation": util, "performance": perf}
+        table_rows.append([name, "100.0", "100.0", "100.0"])
+        for label, _ in FEATURE_VARIANTS:
+            latency_pct, qps_pct = perf[label]
+            table_rows.append([
+                "%s %s" % (name, label),
+                "%.1f" % util[label],
+                "%.1f" % latency_pct,
+                "%.1f" % qps_pct,
+            ])
+    text = render_table(
+        ["Artefact", "Utilisation (%)", "Latency (%)", "Queries/s (%)"],
+        table_rows,
+        title="Table 5: debug controller profile (latency compared at "
+              "the 99th percentile)")
+    return data, text

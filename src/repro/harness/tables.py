@@ -1,0 +1,102 @@
+"""Tables 1 and 2: qualitative comparisons, regenerated as data.
+
+Table 1 compares representative solutions for networking services in
+hardware; Table 2 lists the direction command language.  Both are
+checked by benchmarks so the rendered artefacts stay in sync with the
+implementation (Table 2 is generated *from* the parser's own command
+table).
+"""
+
+from repro.direction.commands import COMMAND_TABLE
+from repro.harness.report import render_table
+
+SOLUTIONS = [
+    {
+        "solution": "Emu",
+        "what": '"Standard library"',
+        "target": "Networking applications",
+        "paradigm": "Any",
+        "language": ".NET",
+        "metric": "User defined",
+        "debug": "x86, Mininet and Emu env.",
+        "compiler": "Kiwi",
+    },
+    {
+        "solution": "Kiwi",
+        "what": "Compiler and libraries",
+        "target": "Scientific applications",
+        "paradigm": "Any",
+        "language": ".NET",
+        "metric": "Execution time/area",
+        "debug": "x86",
+        "compiler": "Kiwi",
+    },
+    {
+        "solution": "Vivado HLS",
+        "what": "Compiler and libraries",
+        "target": "Scientific applications",
+        "paradigm": "Any",
+        "language": "C, C++, System C",
+        "metric": "Throughput",
+        "debug": "C simulation",
+        "compiler": "Vivado HLS",
+    },
+    {
+        "solution": "SDNet",
+        "what": "Programming environment",
+        "target": "Networking applications",
+        "paradigm": "Packet processing",
+        "language": "PX/P4",
+        "metric": "Throughput",
+        "debug": "C++ simulation",
+        "compiler": "SDNet",
+    },
+    {
+        "solution": "P4",
+        "what": "Programming language",
+        "target": "Networking applications",
+        "paradigm": "Packet processing",
+        "language": "P4",
+        "metric": "Throughput",
+        "debug": "P4 behavioral simulator, Mininet",
+        "compiler": "P4 compiler, then P4FPGA/SDNet",
+    },
+    {
+        "solution": "ClickNP",
+        "what": "Programming language/model",
+        "target": "Networking applications",
+        "paradigm": "Packet processing",
+        "language": "ClickNP",
+        "metric": "Throughput",
+        "debug": "Undefined",
+        "compiler": "ClickNP, then Altera OpenCL or Vivado HLS",
+    },
+]
+
+
+def solution_comparison():
+    """Table 1 as structured data."""
+    return list(SOLUTIONS)
+
+
+def render_table1():
+    headers = ["Solution", "What is it?", "Target", "Paradigm",
+               "Language", "Perf. metric", "Debug env.", "Compiler"]
+    rows = [[s["solution"], s["what"], s["target"], s["paradigm"],
+             s["language"], s["metric"], s["debug"], s["compiler"]]
+            for s in SOLUTIONS]
+    return render_table(headers, rows,
+                        title="Table 1: solutions for networking "
+                              "services in hardware")
+
+
+def direction_commands():
+    """Table 2 as structured data, from the parser's command table."""
+    return dict(COMMAND_TABLE)
+
+
+def render_table2():
+    headers = ["Command", "Behaviour"]
+    rows = sorted(COMMAND_TABLE.items())
+    return render_table(headers, rows,
+                        title="Table 2: directing commands")

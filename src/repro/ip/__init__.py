@@ -1,0 +1,38 @@
+"""IP blocks (paper §3.2 (i), §3.4).
+
+Emu reaches "specialized modules that take advantage of hardware
+features" through explicit wire protocols (Fig. 5).  Each block here has
+two faces:
+
+* a **behavioural model** — plain Python methods used when the service
+  runs under software semantics (CPU target) and when the hardware target
+  steps services cycle-by-cycle;
+* a **netlist builder** (``build_netlist()``) — an :class:`repro.rtl.Module`
+  used for resource estimation, Verilog emission and RTL simulation.
+
+Blocks provided:
+
+* :class:`~repro.ip.cam.BinaryCAM` — content-addressable memory (the
+  block that dominates the Emu switch's resources: ~85% in Table 3).
+* :class:`~repro.ip.cam.RegisterCAM` — the "CAM implemented in Emu"
+  alternative from §4.1 (pure language, worse resources/timing).
+* :class:`~repro.ip.tcam.TernaryCAM` — masked matching for L3/L4 filters.
+* :class:`~repro.ip.fifo.SyncFIFO` — clocked FIFO used by output queues.
+* :class:`~repro.ip.bram.BlockRAM` — 1-cycle-latency RAM (value store).
+* :class:`~repro.ip.pearson.PearsonHash` — streaming hash with the
+  seed handshake of Fig. 5.
+* :class:`~repro.ip.naughtyq.NaughtyQ` — recency queue used by the LRU
+  cache of Fig. 9.
+"""
+
+from repro.ip.cam import BinaryCAM, RegisterCAM
+from repro.ip.tcam import TernaryCAM
+from repro.ip.fifo import SyncFIFO
+from repro.ip.bram import BlockRAM
+from repro.ip.pearson import PearsonHash
+from repro.ip.naughtyq import NaughtyQ
+
+__all__ = [
+    "BinaryCAM", "RegisterCAM", "TernaryCAM", "SyncFIFO", "BlockRAM",
+    "PearsonHash", "NaughtyQ",
+]

@@ -1,0 +1,105 @@
+"""Block RAM with 1-cycle read latency.
+
+On-chip memory is what gives Emu services their low, *constant* latency
+(§5.4 "Optimizations": on-chip = low constant latency, on-board DRAM =
+bigger but slower and variable).  :class:`BlockRAM` models the on-chip
+variant; :class:`DramModel` models the on-board DDR3 alternative with
+refresh-induced latency variance, used by the Memcached ablation.
+"""
+
+from repro.errors import WidthError
+from repro.rtl import Module, mux
+
+
+class BlockRAM:
+    """Behavioural model + netlist of a simple dual-port BRAM."""
+
+    READ_LATENCY_CYCLES = 1
+
+    def __init__(self, width, depth):
+        if depth <= 0:
+            raise WidthError("BRAM depth must be positive")
+        self.width = width
+        self.depth = depth
+        self._data = [0] * depth
+
+    def read(self, addr):
+        self._check(addr)
+        return self._data[addr]
+
+    def write(self, addr, value):
+        self._check(addr)
+        if value < 0 or value >= (1 << self.width):
+            raise WidthError("BRAM value exceeds %d bits" % self.width)
+        self._data[addr] = value
+
+    def load(self, values, base=0):
+        """Bulk initialisation (e.g. DNS resolution table)."""
+        for offset, value in enumerate(values):
+            self.write(base + offset, value)
+
+    def _check(self, addr):
+        if not 0 <= addr < self.depth:
+            raise WidthError("BRAM address %d out of range" % addr)
+
+    @property
+    def bits(self):
+        return self.width * self.depth
+
+    def build_netlist(self, name="bram"):
+        m = Module(name)
+        addr_bits = max(1, (self.depth - 1).bit_length())
+        read_addr = m.input("read_addr", addr_bits)
+        write_addr = m.input("write_addr", addr_bits)
+        write_data = m.input("write_data", self.width)
+        write_en = m.input("write_en", 1)
+        read_data = m.output("read_data", self.width)
+
+        storage = m.memory("storage", self.width, self.depth)
+        # Registered read address models the 1-cycle read latency.
+        addr_reg = m.reg("addr_reg", addr_bits)
+        m.sync(addr_reg, read_addr)
+        m.comb(read_data, storage.read(addr_reg))
+        m.write_port(storage, write_addr, write_data, write_en)
+        return m
+
+
+class DramModel:
+    """On-board DRAM: larger, but reads take longer and vary with refresh.
+
+    The access time alternates deterministically (so simulations are
+    reproducible): every ``REFRESH_PERIOD``-th access collides with a
+    refresh and pays ``REFRESH_PENALTY_CYCLES`` extra.
+    """
+
+    BASE_LATENCY_CYCLES = 14
+    REFRESH_PERIOD = 64
+    REFRESH_PENALTY_CYCLES = 26
+
+    def __init__(self, width, depth):
+        self.width = width
+        self.depth = depth
+        self._data = {}
+        self._accesses = 0
+
+    def read(self, addr):
+        if not 0 <= addr < self.depth:
+            raise WidthError("DRAM address %d out of range" % addr)
+        self._accesses += 1
+        return self._data.get(addr, 0)
+
+    def write(self, addr, value):
+        if not 0 <= addr < self.depth:
+            raise WidthError("DRAM address %d out of range" % addr)
+        self._accesses += 1
+        self._data[addr] = value & ((1 << self.width) - 1)
+
+    def last_access_latency(self):
+        """Cycles the most recent access took (refresh-aware)."""
+        if self._accesses % self.REFRESH_PERIOD == 0:
+            return self.BASE_LATENCY_CYCLES + self.REFRESH_PENALTY_CYCLES
+        return self.BASE_LATENCY_CYCLES
+
+    @property
+    def bits(self):
+        return self.width * self.depth

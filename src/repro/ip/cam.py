@@ -1,0 +1,249 @@
+"""Content-addressable memory.
+
+The learning switch (§4.1) demonstrates both ways Emu can get a CAM:
+
+* :class:`BinaryCAM` — the *native FPGA IP block*: single-cycle lookup,
+  dedicated match-line cells.  In Table 3 this block accounts for ~85%
+  of the Emu switch's logic resources.
+* :class:`RegisterCAM` — the *implemented-in-Emu* variant: a register
+  file searched with generated comparators.  It frees the developer from
+  IP-block wiring but costs more logic and a longer combinational path,
+  the trade-off §4.1 describes.
+"""
+
+from repro.errors import ProtocolError, WidthError
+from repro.rtl import Module, const, mux
+from repro.rtl.resources import CAM_LUTS_PER_CELL_BIT
+from repro.rtl.expr import Const
+
+
+class BinaryCAM:
+    """Behavioural model + netlist of a binary CAM IP block.
+
+    Lookup and write each take one cycle.  Writing an existing key
+    updates its value; writing a new key claims the next free slot, or
+    evicts slot 0 ... n in FIFO order when full (matching the simple
+    wrap-around of the paper's switch, Fig. 2 line 17).
+    """
+
+    def __init__(self, key_width, value_width, depth):
+        if depth <= 0:
+            raise WidthError("CAM depth must be positive")
+        self.key_width = key_width
+        self.value_width = value_width
+        self.depth = depth
+        self._keys = [None] * depth
+        self._values = [0] * depth
+        self._free = 0
+        # Observable flags, like the paper's HashCAM.matched.
+        self.matched = False
+
+    # -- behavioural ------------------------------------------------------
+
+    def lookup(self, key):
+        """Return the value for *key*; sets :attr:`matched`."""
+        self._check_key(key)
+        for slot, stored in enumerate(self._keys):
+            if stored == key:
+                self.matched = True
+                return self._values[slot]
+        self.matched = False
+        return 0
+
+    def lookup_index(self, key):
+        """Return the slot index holding *key*, or ``None``."""
+        self._check_key(key)
+        for slot, stored in enumerate(self._keys):
+            if stored == key:
+                return slot
+        return None
+
+    def write(self, key, value):
+        """Insert or update ``key -> value``; returns the slot used."""
+        self._check_key(key)
+        if value < 0 or value >= (1 << self.value_width):
+            raise WidthError("CAM value 0x%x exceeds %d bits"
+                             % (value, self.value_width))
+        slot = self.lookup_index(key)
+        if slot is None:
+            # Prefer an invalid (free) cell; fall back to the wrap-around
+            # pointer when the CAM is truly full.
+            if None in self._keys:
+                slot = self._keys.index(None)
+            else:
+                slot = self._free
+            self._free = 0 if self._free >= self.depth - 1 \
+                else self._free + 1
+        self._keys[slot] = key
+        self._values[slot] = value
+        return slot
+
+    def invalidate(self, key):
+        """Remove *key* if present; returns True if it was stored."""
+        slot = self.lookup_index(key)
+        if slot is None:
+            return False
+        self._keys[slot] = None
+        self._values[slot] = 0
+        return True
+
+    def occupancy(self):
+        return sum(1 for k in self._keys if k is not None)
+
+    def clear(self):
+        self._keys = [None] * self.depth
+        self._values = [0] * self.depth
+        self._free = 0
+        self.matched = False
+
+    def _check_key(self, key):
+        if key < 0 or key >= (1 << self.key_width):
+            raise WidthError("CAM key 0x%x exceeds %d bits"
+                             % (key, self.key_width))
+
+    # -- netlist ----------------------------------------------------------
+
+    def build_netlist(self, name="cam"):
+        """Functional netlist: match-line cells + value RAM + allocator.
+
+        Lookup is combinational (match + value read in the same cycle the
+        pipeline registers the result, i.e. 1-cycle latency).  A write
+        updates a matching entry in place, or claims the free-pointer
+        slot with wrap-around — the behaviour of :meth:`write`.
+
+        Key/valid storage and comparators are dedicated match-line cells,
+        charged through ``cam_cell_bits`` (this is what makes the CAM
+        dominate the Emu switch's resources in Table 3); the per-slot
+        registers are *not* additionally counted as fabric FFs.
+        """
+        m = Module(name)
+        search_key = m.input("search_key", self.key_width)
+        write_en = m.input("write_en", 1)
+        write_key = m.input("write_key", self.key_width)
+        write_value = m.input("write_value", self.value_width)
+        match = m.output("match", 1)
+        value_out = m.output("value_out", self.value_width)
+
+        index_bits = max(1, (self.depth - 1).bit_length())
+        value_mem = m.memory("values", self.value_width, self.depth)
+        free_ptr = m.reg("free_ptr", index_bits)
+
+        hit_any = None
+        whit_any = None
+        match_index = const(0, index_bits)
+        write_index = const(0, index_bits)
+        cells = []
+        for slot in range(self.depth):
+            key_reg = m.reg("key_%d" % slot, self.key_width)
+            valid_reg = m.reg("valid_%d" % slot, 1)
+            cells.append((key_reg, valid_reg))
+            hit = key_reg.eq(search_key) & valid_reg
+            whit = key_reg.eq(write_key) & valid_reg
+            hit_any = hit if hit_any is None else (hit_any | hit)
+            whit_any = whit if whit_any is None else (whit_any | whit)
+            match_index = mux(hit, const(slot, index_bits), match_index)
+            write_index = mux(whit, const(slot, index_bits), write_index)
+        alloc = write_en & ~whit_any
+        for slot, (key_reg, valid_reg) in enumerate(cells):
+            claim = alloc & free_ptr.eq(const(slot, index_bits))
+            m.sync(key_reg, mux(claim, write_key, key_reg))
+            m.sync(valid_reg, mux(claim, const(1, 1), valid_reg))
+        wrapped = free_ptr.eq(const(self.depth - 1, index_bits))
+        m.sync(free_ptr, mux(
+            alloc, mux(wrapped, const(0, index_bits),
+                       free_ptr + const(1, index_bits)), free_ptr))
+        final_windex = mux(whit_any, write_index, free_ptr)
+        m.write_port(value_mem, final_windex, write_value, write_en)
+        m.comb(match, hit_any if hit_any is not None else const(0, 1))
+        m.comb(value_out, value_mem.read(match_index))
+        # Dedicated-cell pricing: a CAM's match lines are hard cells, not
+        # LUT comparators, so the block advertises its cost and the
+        # estimator uses it instead of synthesising the behavioural
+        # netlist to fabric.  It is still the dominant component of the
+        # Emu switch (the paper attributes ~85% of resources to it).
+        cell_bits = self.depth * (self.key_width + 1)
+        value_bits = self.depth * self.value_width
+        m.attributes["is_ip_block"] = True
+        m.attributes["ip_logic_luts"] = \
+            cell_bits * CAM_LUTS_PER_CELL_BIT + value_bits / 32.0
+        m.attributes["ip_ffs"] = 0
+        m.attributes["ip_mem_units"] = -(-value_bits // 512)  # ceil
+        return m
+
+
+class RegisterCAM(BinaryCAM):
+    """A CAM expressed in the source language instead of as an IP block.
+
+    Functionally identical to :class:`BinaryCAM`; the netlist differs:
+    every key bit is a general-purpose flip-flop plus LUT comparator and
+    the lookup result is a full mux tree, so logic cost and critical path
+    are larger — the §4.1 trade-off, quantified by the
+    ``bench_ablation_cam`` benchmark.
+    """
+
+    def build_netlist(self, name="register_cam"):
+        m = Module(name)
+        search_key = m.input("search_key", self.key_width)
+        write_en = m.input("write_en", 1)
+        write_key = m.input("write_key", self.key_width)
+        write_value = m.input("write_value", self.value_width)
+        write_slot = m.input(
+            "write_slot", max(1, (self.depth - 1).bit_length()))
+        match = m.output("match", 1)
+        value_out = m.output("value_out", self.value_width)
+
+        hit_any = None
+        result = const(0, self.value_width)
+        for slot in range(self.depth):
+            key_reg = m.reg("key_%d" % slot, self.key_width)
+            value_reg = m.reg("value_%d" % slot, self.value_width)
+            valid_reg = m.reg("valid_%d" % slot, 1)
+            slot_sel = write_en & write_slot.eq(
+                Const(slot, write_slot.width))
+            m.sync(key_reg, mux(slot_sel, write_key, key_reg))
+            m.sync(value_reg, mux(slot_sel, write_value, value_reg))
+            m.sync(valid_reg, mux(slot_sel, const(1, 1), valid_reg))
+            hit = key_reg.eq(search_key) & valid_reg
+            hit_any = hit if hit_any is None else (hit_any | hit)
+            result = mux(hit, value_reg, result)
+        m.comb(match, hit_any if hit_any is not None else const(0, 1))
+        m.comb(value_out, result)
+        return m
+
+
+class CamHandshake:
+    """Cycle-level request/grant wrapper used by compiled designs.
+
+    Models the IP-block wire protocol: assert ``req`` with a key, the
+    block answers with ``done`` the next cycle.  Misuse (reading a result
+    before ``done``) raises :class:`ProtocolError`, the kind of bug the
+    paper's direction packets were used to find.
+    """
+
+    def __init__(self, cam):
+        self.cam = cam
+        self._pending = None
+        self._done = False
+        self.result = 0
+        self.matched = False
+
+    def request(self, key):
+        self._pending = key
+        self._done = False
+
+    def tick(self):
+        """Advance one clock cycle."""
+        if self._pending is not None:
+            self.result = self.cam.lookup(self._pending)
+            self.matched = self.cam.matched
+            self._pending = None
+            self._done = True
+
+    @property
+    def done(self):
+        return self._done
+
+    def read_result(self):
+        if not self._done:
+            raise ProtocolError("CAM result read before done was asserted")
+        return self.result

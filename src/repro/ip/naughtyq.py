@@ -1,0 +1,98 @@
+"""NaughtyQ: the recency queue behind the LRU cache of Fig. 9.
+
+The paper's LRU is built from two blocks: ``HashCAM`` (key → slot index)
+and ``NaughtyQ`` (slot storage ordered by recency).  The queue exposes:
+
+* ``enlist(value) -> idx``  — store a value in a slot, placing the slot
+  at the back (most-recently-used end) of the queue; when no free slot
+  exists, the *front* (least-recently-used) slot is reclaimed and its
+  eviction is reported via :attr:`last_evicted`.
+* ``read(idx) -> value``    — fetch a slot's value.
+* ``back_of_q(idx)``        — move a slot to the MRU end (a cache hit).
+"""
+
+from repro.errors import WidthError
+from repro.rtl import Module
+
+
+class NaughtyQ:
+    """Behavioural model + resource stub of the recency queue."""
+
+    def __init__(self, value_width, depth):
+        if depth <= 0:
+            raise WidthError("NaughtyQ depth must be positive")
+        self.value_width = value_width
+        self.depth = depth
+        self._values = [0] * depth
+        self._order = []          # slot indices, front = LRU
+        self._free = list(range(depth))
+        self.last_evicted = None  # (slot, value) of the most recent evict
+
+    def enlist(self, value):
+        """Store *value*, return its slot; evicts the LRU slot if full."""
+        if value < 0 or value >= (1 << self.value_width):
+            raise WidthError("value exceeds %d bits" % self.value_width)
+        self.last_evicted = None
+        if self._free:
+            slot = self._free.pop(0)
+        else:
+            slot = self._order.pop(0)
+            self.last_evicted = (slot, self._values[slot])
+        self._values[slot] = value
+        self._order.append(slot)
+        return slot
+
+    def read(self, idx):
+        self._check(idx)
+        return self._values[idx]
+
+    def update(self, idx, value):
+        """Overwrite a slot's value without changing its recency."""
+        self._check(idx)
+        self._values[idx] = value & ((1 << self.value_width) - 1)
+
+    def back_of_q(self, idx):
+        """Mark slot *idx* most recently used."""
+        self._check(idx)
+        if idx in self._order:
+            self._order.remove(idx)
+            self._order.append(idx)
+
+    def release(self, idx):
+        """Free a slot explicitly (cache invalidation)."""
+        self._check(idx)
+        if idx in self._order:
+            self._order.remove(idx)
+            self._free.append(idx)
+            self._values[idx] = 0
+
+    def lru_slot(self):
+        """The slot that would be evicted next, or ``None`` if not full."""
+        if self._free or not self._order:
+            return None
+        return self._order[0]
+
+    @property
+    def occupancy(self):
+        return len(self._order)
+
+    def _check(self, idx):
+        if not 0 <= idx < self.depth:
+            raise WidthError("NaughtyQ slot %d out of range" % idx)
+
+    def build_netlist(self, name="naughtyq"):
+        """Resource model: value BRAM + doubly-linked recency list."""
+        m = Module(name)
+        idx_bits = max(1, (self.depth - 1).bit_length())
+        m.memory("values", self.value_width, self.depth)
+        m.memory("next_ptr", idx_bits, self.depth)
+        m.memory("prev_ptr", idx_bits, self.depth)
+        head = m.reg("head", idx_bits)
+        tail = m.reg("tail", idx_bits)
+        count = m.reg("count", idx_bits + 1)
+        for reg in (head, tail, count):
+            m.sync(reg, reg)
+        # Pointer-update logic is the block's dominant LUT cost.
+        m.attributes["blackbox_luts"] = 14 * idx_bits + 40
+        m.attributes["is_ip_block"] = True
+        return m

@@ -1,0 +1,79 @@
+"""Ternary CAM: masked matching with priority.
+
+Used by the L3–L4 filter (§4.1): each entry matches ``(key & mask) ==
+(value & mask)`` and the lowest-numbered matching entry wins, exactly
+like an iptables rule chain evaluated in order.
+"""
+
+from repro.errors import WidthError
+from repro.rtl import Module, const, mux
+from repro.rtl.expr import Const
+
+
+class TernaryCAM:
+    """Behavioural model + netlist of a ternary CAM."""
+
+    def __init__(self, key_width, value_width, depth):
+        if depth <= 0:
+            raise WidthError("TCAM depth must be positive")
+        self.key_width = key_width
+        self.value_width = value_width
+        self.depth = depth
+        # Entries: list of (key, mask, value) or None; index = priority.
+        self._entries = [None] * depth
+        self.matched = False
+
+    def write(self, slot, key, mask, value):
+        """Program rule *slot* (0 = highest priority)."""
+        if not 0 <= slot < self.depth:
+            raise WidthError("TCAM slot %d out of range" % slot)
+        limit = 1 << self.key_width
+        if not (0 <= key < limit and 0 <= mask < limit):
+            raise WidthError("TCAM key/mask exceeds %d bits" % self.key_width)
+        self._entries[slot] = (key & mask, mask, value)
+
+    def invalidate(self, slot):
+        if not 0 <= slot < self.depth:
+            raise WidthError("TCAM slot %d out of range" % slot)
+        self._entries[slot] = None
+
+    def lookup(self, key):
+        """Return the value of the highest-priority matching rule."""
+        for entry in self._entries:
+            if entry is None:
+                continue
+            stored_key, mask, value = entry
+            if (key & mask) == stored_key:
+                self.matched = True
+                return value
+        self.matched = False
+        return 0
+
+    def occupancy(self):
+        return sum(1 for e in self._entries if e is not None)
+
+    def build_netlist(self, name="tcam"):
+        m = Module(name)
+        search_key = m.input("search_key", self.key_width)
+        match = m.output("match", 1)
+        value_out = m.output("value_out", self.value_width)
+
+        hit_any = const(0, 1)
+        result = const(0, self.value_width)
+        # Lowest slot wins: build the mux chain from the bottom up.
+        for slot in reversed(range(self.depth)):
+            key_reg = m.reg("key_%d" % slot, self.key_width)
+            mask_reg = m.reg("mask_%d" % slot, self.key_width)
+            value_reg = m.reg("value_%d" % slot, self.value_width)
+            valid_reg = m.reg("valid_%d" % slot, 1)
+            for reg in (key_reg, mask_reg, value_reg, valid_reg):
+                m.sync(reg, reg)  # programmed via config cells
+            hit = (search_key & mask_reg).eq(key_reg) & valid_reg
+            hit_any = mux(hit, const(1, 1), hit_any)
+            result = mux(hit, value_reg, result)
+        m.comb(match, hit_any)
+        m.comb(value_out, result)
+        # Ternary cells store key + mask + valid per searchable bit.
+        m.attributes["cam_cell_bits"] = self.depth * (2 * self.key_width + 1)
+        m.attributes["is_ip_block"] = True
+        return m

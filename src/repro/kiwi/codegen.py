@@ -1,0 +1,135 @@
+"""Code generation: FSM → netlist module.
+
+The generated module follows one calling convention, shared by the
+NetFPGA pipeline model and the tests:
+
+* input ``start`` — pulse to begin; scalar parameters are latched then,
+* one input signal per scalar parameter,
+* one internal memory per memory parameter (loaded via simulator
+  backdoor, standing in for the shared frame buffer),
+* outputs ``busy``, ``state`` and one ``resultN`` per declared result.
+
+Module latency = cycles from the start pulse until ``busy`` falls —
+exactly the "module latency" column of Table 3.
+"""
+
+from repro.errors import CompileError
+from repro.kiwi.builder import MemReadRef, VarRef
+from repro.kiwi.fsm import Branch, Goto
+from repro.rtl.expr import (
+    BinOp, Concat, Const, MemRead, Mux, Slice, UnOp,
+)
+from repro.rtl.module import Module
+from repro.rtl.signal import Signal
+
+
+def generate(spec, fsm, var_widths, name=None):
+    """Emit a netlist :class:`Module` implementing *fsm*."""
+    m = Module(name or spec.name)
+    start = m.input("start", 1)
+    param_inputs = {}
+    for pname, pspec in spec.scalar_params:
+        param_inputs[pname] = m.input(pname, pspec.width)
+
+    memories = {}
+    for mname, mspec in spec.memory_params:
+        memories[mname] = m.memory(mname, mspec.width, mspec.depth)
+
+    state_bits = max(1, (fsm.state_count - 1).bit_length())
+    state_reg = m.reg("fsm_state", state_bits)
+
+    var_regs = {}
+    for vname, width in var_widths.items():
+        var_regs[vname] = m.reg("v_" + vname, width)
+
+    rewrite_cache = {}
+
+    def rewrite(expr):
+        """Resolve VarRef/MemReadRef placeholders to netlist nodes.
+
+        Memoised by node identity so shared sub-DAGs stay shared (the
+        builder reuses expressions heavily; copying per reference would
+        blow the netlist up exponentially).
+        """
+        if expr == "__start__":
+            return start
+        cached = rewrite_cache.get(id(expr))
+        if cached is not None:
+            return cached
+        result = _rewrite_uncached(expr)
+        rewrite_cache[id(expr)] = result
+        return result
+
+    def _rewrite_uncached(expr):
+        if isinstance(expr, VarRef):
+            return var_regs[expr.name]
+        if isinstance(expr, MemReadRef):
+            return MemRead(memories[expr.mem_name], rewrite(expr.addr))
+        if isinstance(expr, (Const, Signal)):
+            return expr
+        if isinstance(expr, BinOp):
+            node = BinOp.__new__(BinOp)
+            node.op = expr.op
+            node.lhs = rewrite(expr.lhs)
+            node.rhs = rewrite(expr.rhs)
+            node.width = expr.width
+            return node
+        if isinstance(expr, UnOp):
+            return UnOp(expr.op, rewrite(expr.operand))
+        if isinstance(expr, Mux):
+            return Mux(rewrite(expr.sel), rewrite(expr.if_true),
+                       rewrite(expr.if_false))
+        if isinstance(expr, Slice):
+            return Slice(rewrite(expr.operand), expr.msb, expr.lsb)
+        if isinstance(expr, Concat):
+            return Concat([rewrite(p) for p in expr.parts])
+        raise CompileError("cannot emit expression %r" % (expr,))
+
+    def state_is(state):
+        return state_reg.eq(Const(state.index, state_bits))
+
+    # Register next-value networks.
+    for vname, reg in var_regs.items():
+        next_expr = reg
+        for state in fsm.states:
+            if vname in state.updates:
+                next_expr = Mux(state_is(state),
+                                rewrite(state.updates[vname]), next_expr)
+        # Parameter latching in idle.
+        if vname in param_inputs:
+            next_expr = Mux(state_is(fsm.idle) & start,
+                            param_inputs[vname], next_expr)
+        m.sync(reg, next_expr)
+
+    # State transition network.
+    next_state = state_reg
+    for state in fsm.states:
+        transition = state.transition
+        if isinstance(transition, Goto):
+            target_expr = Const(transition.target.index, state_bits)
+        elif isinstance(transition, Branch):
+            target_expr = Mux(
+                rewrite(transition.cond),
+                Const(transition.if_true.index, state_bits),
+                Const(transition.if_false.index, state_bits))
+        else:
+            raise CompileError("state %r lacks a transition" % state.label)
+        next_state = Mux(state_is(state), target_expr, next_state)
+    m.sync(state_reg, next_state)
+
+    # Memory write ports.
+    for state in fsm.states:
+        for mem_name, addr, data, enable in state.writes:
+            m.write_port(memories[mem_name], rewrite(addr), rewrite(data),
+                         state_is(state) & rewrite(enable))
+
+    # Outputs.
+    busy = m.output("busy", 1)
+    m.comb(busy, state_reg.ne(Const(0, state_bits)))
+    state_out = m.output("state", state_bits)
+    m.comb(state_out, state_reg)
+    for index in range(len(spec.results)):
+        reg = var_regs["__result%d" % index]
+        out = m.output("result%d" % index, reg.width)
+        m.comb(out, reg)
+    return m

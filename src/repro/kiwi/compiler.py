@@ -1,0 +1,163 @@
+"""Public compiler API (workflow step B1 of Fig. 1).
+
+``compile_function`` runs the full pipeline — parse, schedule, emit —
+and returns a :class:`CompiledDesign` bundling the netlist, the FSM, the
+timing report, and helpers to simulate the design and to emit Verilog.
+"""
+
+from repro.errors import CompileError
+from repro.kiwi.builder import FsmBuilder
+from repro.kiwi.codegen import generate
+from repro.kiwi.frontend import parse_function
+from repro.rtl.expr import BinOp, Mux, UnOp
+from repro.rtl.resources import estimate_resources
+from repro.rtl.simulator import Simulator
+from repro.rtl.verilog import emit_verilog
+
+
+def _expr_depth(expr, memo=None):
+    """Logic levels of an expression DAG (timing proxy)."""
+    if isinstance(expr, str):
+        return 0
+    if memo is None:
+        memo = {}
+    cached = memo.get(id(expr))
+    if cached is not None:
+        return cached
+    cost = 1 if isinstance(expr, (BinOp, Mux, UnOp)) else 0
+    children = expr.children() if hasattr(expr, "children") else ()
+    depth = cost + max((_expr_depth(c, memo) for c in children), default=0)
+    memo[id(expr)] = depth
+    return depth
+
+
+class TimingReport:
+    """Schedule statistics (paper §3.4: too much work per cycle and the
+    design fails timing; too little and it is inefficient)."""
+
+    def __init__(self, state_count, max_logic_levels, levels_per_state):
+        self.state_count = state_count
+        self.max_logic_levels = max_logic_levels
+        self.levels_per_state = levels_per_state
+
+    def meets_timing(self, max_levels=48):
+        """Would this schedule close timing at the target clock?
+
+        48 logic levels is a generous budget for 200 MHz on a Virtex-7;
+        the ablation benchmark sweeps pause density against this.
+        """
+        return self.max_logic_levels <= max_levels
+
+    def __repr__(self):
+        return "TimingReport(states=%d, max_levels=%d)" % (
+            self.state_count, self.max_logic_levels)
+
+
+class CompiledDesign:
+    """The output of the Kiwi compiler for one kernel."""
+
+    def __init__(self, spec, fsm, module, timing):
+        self.spec = spec
+        self.fsm = fsm
+        self.module = module
+        self.timing = timing
+
+    @property
+    def name(self):
+        return self.spec.name
+
+    @property
+    def state_count(self):
+        return self.fsm.state_count
+
+    def resources(self):
+        """Resource estimate of the generated netlist."""
+        return estimate_resources(self.module)
+
+    def verilog(self):
+        """Emit the design as Verilog text."""
+        return emit_verilog(self.module)
+
+    def simulator(self):
+        """A fresh cycle simulator over the generated netlist."""
+        return Simulator(self.module)
+
+    def run(self, max_cycles=100000, memories=None, **scalars):
+        """Execute one invocation on the netlist simulator.
+
+        Returns ``(results, latency_cycles, sim)``: the tuple of result
+        values, the number of cycles ``busy`` was high, and the simulator
+        (so callers can inspect memory side effects).
+        """
+        sim = self.simulator()
+        return self.run_on(sim, max_cycles=max_cycles, memories=memories,
+                           **scalars)
+
+    def run_on(self, sim, max_cycles=100000, memories=None, **scalars):
+        """Execute one invocation on an existing simulator (warm state)."""
+        if memories:
+            for mem_name, contents in memories.items():
+                for addr, value in enumerate(contents):
+                    sim.poke_memory(mem_name, addr, value)
+        for name, value in scalars.items():
+            sim.poke(name, value)
+        sim.poke("start", 1)
+        sim.step()              # idle: latch parameters, enter entry state
+        sim.poke("start", 0)
+        latency = 1
+        while sim.peek("busy"):
+            if latency >= max_cycles:
+                raise CompileError(
+                    "design %r did not finish in %d cycles"
+                    % (self.name, max_cycles))
+            sim.step()
+            latency += 1
+        results = tuple(
+            sim.peek("result%d" % index)
+            for index in range(len(self.spec.results)))
+        return results, latency, sim
+
+
+def compile_function(fn, name=None):
+    """Compile a kernel function into a :class:`CompiledDesign`."""
+    spec = parse_function(fn)
+    builder = FsmBuilder(spec)
+    fsm = builder.build()
+    module = generate(spec, fsm, builder.var_widths, name=name)
+
+    max_levels = 0
+    per_state = {}
+    for state in fsm.states:
+        levels = 0
+        for expr in state.updates.values():
+            levels = max(levels, _expr_depth(expr))
+        transition = state.transition
+        if hasattr(transition, "cond"):
+            levels = max(levels, _expr_depth(transition.cond))
+        for _, addr, data, enable in state.writes:
+            levels = max(levels, _expr_depth(addr), _expr_depth(data),
+                         _expr_depth(enable))
+        per_state[state.index] = levels
+        max_levels = max(max_levels, levels)
+    timing = TimingReport(fsm.state_count, max_levels, per_state)
+    return CompiledDesign(spec, fsm, module, timing)
+
+
+def compile_threads(functions, name="parallel"):
+    """Compile several kernels as parallel circuits (§3.4 hardware
+    semantics: "parallel threads may be wired into parallel logical
+    sub-circuits").
+
+    Returns a list of :class:`CompiledDesign` plus an aggregate resource
+    report; the multi-threaded resource ablation uses this.
+    """
+    designs = [compile_function(fn) for fn in functions]
+    total = None
+    for design in designs:
+        report = design.resources()
+        if total is None:
+            total = report
+            total.name = name
+        else:
+            total.merge(report)
+    return designs, total

@@ -1,0 +1,165 @@
+"""Compiler frontend: source extraction, parameter specs, subset checks.
+
+Kernel functions declare their hardware interface with annotations:
+
+    def switch_kernel(frame: "mem[2048]x8", frame_len: "u16",
+                      src_port: "u8") -> "u8":
+        ...
+
+* ``"uN"``         — an N-bit unsigned scalar (input latched at start).
+* ``"mem[D]xW"``   — a memory of D words of W bits (shared buffer).
+* the return annotation gives the result register width(s); a tuple
+  annotation (``("u8", "u16")``) declares multiple results.
+"""
+
+import ast
+import inspect
+import re
+import textwrap
+
+from repro.errors import CompileError
+
+DEFAULT_WIDTH = 64
+
+_SCALAR_RE = re.compile(r"^u(\d+)$")
+_MEM_RE = re.compile(r"^mem\[(\d+)\]x(\d+)$")
+
+
+class ScalarSpec:
+    """An N-bit scalar parameter or result."""
+
+    __slots__ = ("width",)
+
+    def __init__(self, width):
+        if width <= 0:
+            raise CompileError("scalar width must be positive")
+        self.width = width
+
+    def __repr__(self):
+        return "u%d" % self.width
+
+
+class MemSpec:
+    """A memory parameter: D words of W bits."""
+
+    __slots__ = ("depth", "width")
+
+    def __init__(self, depth, width):
+        if depth <= 0 or width <= 0:
+            raise CompileError("memory depth/width must be positive")
+        self.depth = depth
+        self.width = width
+
+    @property
+    def addr_bits(self):
+        return max(1, (self.depth - 1).bit_length())
+
+    def __repr__(self):
+        return "mem[%d]x%d" % (self.depth, self.width)
+
+
+def parse_spec(text):
+    """Parse one annotation string into a spec object."""
+    match = _SCALAR_RE.match(text)
+    if match:
+        return ScalarSpec(int(match.group(1)))
+    match = _MEM_RE.match(text)
+    if match:
+        return MemSpec(int(match.group(1)), int(match.group(2)))
+    raise CompileError("unrecognised type annotation %r" % text)
+
+
+def _annotation_text(node):
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.Str):          # pragma: no cover (py<3.8)
+        return node.s
+    raise CompileError("annotations must be string literals", node)
+
+
+class FunctionSpec:
+    """Parsed interface + body of one kernel function."""
+
+    def __init__(self, name, params, results, body, tree):
+        self.name = name
+        self.params = params       # list of (name, spec)
+        self.results = results     # list of ScalarSpec
+        self.body = body           # list of ast statements
+        self.tree = tree
+
+    @property
+    def scalar_params(self):
+        return [(n, s) for n, s in self.params if isinstance(s, ScalarSpec)]
+
+    @property
+    def memory_params(self):
+        return [(n, s) for n, s in self.params if isinstance(s, MemSpec)]
+
+
+def parse_function(fn):
+    """Extract and validate the AST of a kernel function."""
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+    except (OSError, TypeError):
+        raise CompileError("cannot read source of %r" % (fn,))
+    tree = ast.parse(source)
+    funcs = [node for node in tree.body
+             if isinstance(node, ast.FunctionDef)]
+    if len(funcs) != 1:
+        raise CompileError("expected exactly one function definition")
+    func = funcs[0]
+
+    args = func.args
+    if args.vararg or args.kwarg or args.kwonlyargs or args.defaults:
+        raise CompileError(
+            "kernel functions take plain positional parameters only", func)
+
+    params = []
+    for arg in args.args:
+        if arg.annotation is None:
+            raise CompileError(
+                "parameter %r needs a type annotation" % arg.arg, arg)
+        params.append((arg.arg, parse_spec(_annotation_text(arg.annotation))))
+
+    results = []
+    if func.returns is not None:
+        if isinstance(func.returns, ast.Tuple):
+            for element in func.returns.elts:
+                spec = parse_spec(_annotation_text(element))
+                if not isinstance(spec, ScalarSpec):
+                    raise CompileError("results must be scalars",
+                                       element)
+                results.append(spec)
+        else:
+            spec = parse_spec(_annotation_text(func.returns))
+            if not isinstance(spec, ScalarSpec):
+                raise CompileError("results must be scalars", func.returns)
+            results.append(spec)
+
+    return FunctionSpec(func.name, params, results, func.body, func)
+
+
+# -- barrier analysis --------------------------------------------------------
+
+def _is_pause_call(node):
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "pause")
+
+
+def stmt_contains_barrier(stmt):
+    """Does *stmt* force a state boundary (pause / loop / return / ...)?"""
+    if isinstance(stmt, (ast.While, ast.Return, ast.Break, ast.Continue)):
+        return True
+    if isinstance(stmt, ast.Expr) and _is_pause_call(stmt.value):
+        return True
+    if isinstance(stmt, ast.If):
+        return (body_contains_barrier(stmt.body)
+                or body_contains_barrier(stmt.orelse))
+    if isinstance(stmt, ast.For):
+        return body_contains_barrier(stmt.body)
+    return False
+
+
+def body_contains_barrier(stmts):
+    return any(stmt_contains_barrier(s) for s in stmts)

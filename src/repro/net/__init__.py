@@ -1,0 +1,18 @@
+"""Network substrate: frames, virtual interfaces, measurement equipment.
+
+This package provides what surrounded the NetFPGA in the paper's testbed:
+
+* :mod:`repro.net.packet`      — Ethernet frames + dataplane metadata.
+* :mod:`repro.net.interfaces`  — virtual NICs / tap-style ports.
+* :mod:`repro.net.osnt`        — Open Source Network Tester stand-in:
+  trace replay and max-throughput rate search (§5.2).
+* :mod:`repro.net.dag`         — Endace DAG stand-in: baseline-corrected
+  DUT-only latency capture (§5.2).
+* :mod:`repro.net.workloads`   — request generators (memaslap-style
+  90/10 GET/SET mix, DNS query streams, ping floods).
+"""
+
+from repro.net.packet import Frame, mac_to_int, int_to_mac, ip_to_int, \
+    int_to_ip
+
+__all__ = ["Frame", "mac_to_int", "int_to_mac", "ip_to_int", "int_to_ip"]

@@ -1,0 +1,52 @@
+"""Virtual network interfaces (tap-device stand-ins).
+
+"Layers of abstraction between the .NET runtime and the OS provide
+virtual/physical network interfaces.  By using virtual interfaces,
+developers can test network functions in a simulator." (§3.3)
+"""
+
+from repro.errors import NetSimError
+
+
+class VirtualInterface:
+    """A bidirectional queue pair: RX into the service, TX out of it."""
+
+    def __init__(self, name):
+        self.name = name
+        self._rx = []
+        self._tx = []
+        self.peer = None
+        self.rx_count = 0
+        self.tx_count = 0
+
+    def connect(self, peer):
+        """Wire this interface to another (veth-pair style)."""
+        if not isinstance(peer, VirtualInterface):
+            raise NetSimError("peer must be a VirtualInterface")
+        self.peer = peer
+        peer.peer = self
+
+    def inject(self, frame):
+        """Deliver a frame into this interface's RX queue."""
+        self._rx.append(frame)
+        self.rx_count += 1
+
+    def transmit(self, frame):
+        """Send a frame out: to the connected peer, else onto TX."""
+        self.tx_count += 1
+        if self.peer is not None:
+            self.peer.inject(frame)
+        else:
+            self._tx.append(frame)
+
+    def drain_rx(self):
+        frames, self._rx = self._rx, []
+        return frames
+
+    def drain_tx(self):
+        frames, self._tx = self._tx, []
+        return frames
+
+    def __repr__(self):
+        return "VirtualInterface(%s, rx=%d, tx=%d)" % (
+            self.name, self.rx_count, self.tx_count)

@@ -1,0 +1,82 @@
+"""OSNT stand-in: trace replay and maximum-throughput search (§5.2).
+
+"OSNT replays real traffic traces while modifying traffic rate to find
+the maximum throughput (e.g. queries per second)."  The same method is
+used here: offer a request stream at increasing rates and binary-search
+the highest rate the device sustains without loss.
+"""
+
+from repro.errors import TargetError
+
+
+class OsntTrafficGenerator:
+    """Rate search against any device exposing a service-rate limit.
+
+    The device model is a callable ``service_rate_qps(frame)`` (for
+    model-based devices) or an object with ``max_qps``; the generator
+    performs the search the physical OSNT performed empirically.
+    """
+
+    def __init__(self, loss_tolerance=0.0, resolution_qps=1000.0):
+        self.loss_tolerance = loss_tolerance
+        self.resolution_qps = resolution_qps
+
+    def find_max_qps(self, offered_probe, low_qps=1000.0,
+                     high_qps=100_000_000.0):
+        """Binary-search the max lossless rate.
+
+        *offered_probe(rate_qps)* must return the fraction of requests
+        lost at that offered rate.
+        """
+        if offered_probe(low_qps) > self.loss_tolerance:
+            raise TargetError("device loses traffic even at %g qps"
+                              % low_qps)
+        while high_qps - low_qps > self.resolution_qps:
+            mid = (low_qps + high_qps) / 2.0
+            if offered_probe(mid) > self.loss_tolerance:
+                high_qps = mid
+            else:
+                low_qps = mid
+        return low_qps
+
+    def probe_for_service_rate(self, sustainable_qps):
+        """Build an ideal loss probe for a device with a known service
+        rate (an M/D/1 saturation test: loss appears past the rate)."""
+        def probe(offered_qps):
+            if offered_qps <= sustainable_qps:
+                return 0.0
+            return 1.0 - sustainable_qps / offered_qps
+        return probe
+
+    def measure(self, device, frame):
+        """Full OSNT methodology against a target with ``max_qps``."""
+        sustainable = device.max_qps(frame) \
+            if _wants_frame(device.max_qps) else device.max_qps()
+        probe = self.probe_for_service_rate(sustainable)
+        return self.find_max_qps(probe, high_qps=max(2e6, sustainable * 4))
+
+
+def _wants_frame(fn):
+    try:
+        from inspect import signature
+        return len(signature(fn).parameters) >= 1
+    except (TypeError, ValueError):
+        return True
+
+
+class TraceReplayer:
+    """Replay a list of frames at a nominal rate (functional tests)."""
+
+    def __init__(self, frames, rate_pps=1_000_000):
+        self.frames = list(frames)
+        self.rate_pps = rate_pps
+
+    def replay_into(self, device_send):
+        """Send every frame; returns per-frame results with timestamps."""
+        interval_ns = 1e9 / self.rate_pps
+        results = []
+        for index, frame in enumerate(self.frames):
+            stamped = frame.copy()
+            stamped.timestamp_ns = int(index * interval_ns)
+            results.append(device_send(stamped))
+        return results

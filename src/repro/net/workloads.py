@@ -1,0 +1,102 @@
+"""Request-stream generators for the evaluation workloads (§5.2, §5.4).
+
+* :func:`memaslap_mix` — the memaslap benchmark configuration: 90% GET /
+  10% SET with random keys (the paper's Memcached workload).
+* :func:`dns_query_stream` — uniformly random queries over a name table
+  (with a configurable miss ratio).
+* :func:`ping_flood` / :func:`tcp_syn_stream` — the latency workloads,
+  100K packets by default as in §5.4.
+"""
+
+import random
+
+from repro.core.protocols.dns import build_dns_query
+from repro.core.protocols.icmp import build_icmp_echo_request
+from repro.core.protocols.memcached import (
+    build_ascii_get, build_ascii_set, build_binary_get, build_binary_set,
+    build_udp_frame_header,
+)
+from repro.core.protocols.tcp import TCPFlags, build_tcp
+from repro.core.protocols.udp import build_udp
+from repro.net.packet import Frame
+
+DEFAULT_MACS = (0x02_00_00_00_00_01, 0x02_00_00_00_00_AA)
+
+
+def ping_flood(dst_ip, src_ip, count=100_000, payload=b"x" * 26,
+               macs=DEFAULT_MACS, src_port=0):
+    """ICMP echo requests (default payload sizes a 64-byte frame)."""
+    dst_mac, src_mac = macs
+    for sequence in range(count):
+        frame = Frame(build_icmp_echo_request(
+            dst_mac, src_mac, src_ip, dst_ip, identifier=1,
+            sequence=sequence & 0xFFFF, payload=payload),
+            src_port=src_port)
+        yield frame.pad()
+
+
+def tcp_syn_stream(dst_ip, src_ip, dst_port=7, count=100_000,
+                   macs=DEFAULT_MACS, src_port=0, seed=7):
+    """SYN probes from random ephemeral ports."""
+    dst_mac, src_mac = macs
+    rng = random.Random(seed)
+    for index in range(count):
+        frame = Frame(build_tcp(
+            dst_mac, src_mac, src_ip, dst_ip,
+            rng.randint(32768, 60999), dst_port, TCPFlags.SYN,
+            seq=index & 0xFFFFFFFF), src_port=src_port)
+        yield frame.pad()
+
+
+def dns_query_stream(dst_ip, src_ip, names, count=100_000, miss_ratio=0.0,
+                     macs=DEFAULT_MACS, src_port=0, seed=11):
+    """A-record queries drawn uniformly from *names*."""
+    dst_mac, src_mac = macs
+    rng = random.Random(seed)
+    names = list(names)
+    for index in range(count):
+        if miss_ratio and rng.random() < miss_ratio:
+            name = "miss%d.invalid" % rng.randint(0, 1 << 20)
+        else:
+            name = rng.choice(names)
+        query = build_dns_query(index & 0xFFFF, name)
+        frame = Frame(build_udp(dst_mac, src_mac, src_ip, dst_ip,
+                                rng.randint(32768, 60999), 53, query),
+                      src_port=src_port)
+        yield frame.pad()
+
+
+def memaslap_mix(dst_ip, src_ip, count=100_000, get_ratio=0.9,
+                 key_bytes=6, value_bytes=8, protocol="ascii",
+                 key_space=1024, macs=DEFAULT_MACS, src_port=0, seed=13):
+    """The memaslap workload: *get_ratio* GETs, the rest SETs.
+
+    Keys are random (fixed width); values are deterministic functions of
+    the key so responses can be validated.
+    """
+    dst_mac, src_mac = macs
+    rng = random.Random(seed)
+    for index in range(count):
+        key = ("k%0*d" % (key_bytes - 1,
+                          rng.randint(0, key_space - 1)))[:key_bytes]
+        key = key.encode("ascii")
+        value = _value_for(key, value_bytes)
+        if rng.random() < get_ratio:
+            body = build_ascii_get(key) if protocol == "ascii" \
+                else build_binary_get(key, opaque=index & 0xFFFFFFFF)
+        else:
+            body = build_ascii_set(key, value) if protocol == "ascii" \
+                else build_binary_set(key, value,
+                                      opaque=index & 0xFFFFFFFF)
+        payload = build_udp_frame_header(index & 0xFFFF) + body
+        frame = Frame(build_udp(dst_mac, src_mac, src_ip, dst_ip,
+                                rng.randint(32768, 60999), 11211, payload),
+                      src_port=src_port)
+        yield frame.pad()
+
+
+def _value_for(key, value_bytes):
+    """Deterministic value derived from the key (for validation)."""
+    seed = sum(key) & 0xFF
+    return bytes((seed + i) & 0xFF for i in range(value_bytes)) \
+        .replace(b"\r", b"\x00").replace(b"\n", b"\x00")

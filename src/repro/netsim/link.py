@@ -1,0 +1,51 @@
+"""Point-to-point links with latency and bandwidth."""
+
+from repro.errors import NetSimError
+
+
+class Link:
+    """Full-duplex link between two (node, port) attachment points."""
+
+    def __init__(self, loop, latency_ns=1000, bandwidth_bps=10_000_000_000):
+        if bandwidth_bps <= 0:
+            raise NetSimError("bandwidth must be positive")
+        self.loop = loop
+        self.latency_ns = latency_ns
+        self.bandwidth_bps = bandwidth_bps
+        self._ends = []                 # [(node, port)]
+        # Per-direction earliest next transmission (serialization).
+        self._busy_until = [0, 0]
+        self.frames_carried = 0
+
+    def attach(self, node, port):
+        if len(self._ends) >= 2:
+            raise NetSimError("link already has two endpoints")
+        self._ends.append((node, port))
+        node.attach_link(port, self)
+
+    def send(self, from_node, frame):
+        """Transmit *frame* from one endpoint to the other."""
+        if len(self._ends) != 2:
+            raise NetSimError("link is not fully connected")
+        for index, (node, _) in enumerate(self._ends):
+            if node is from_node:
+                direction = index
+                break
+        else:
+            raise NetSimError("node %r is not on this link" % from_node)
+        peer, peer_port = self._ends[1 - direction]
+
+        serialization_ns = 8e9 * len(frame.data) / self.bandwidth_bps
+        start = max(self.loop.now_ns, self._busy_until[direction])
+        done = start + serialization_ns
+        self._busy_until[direction] = done
+        arrival_delay = (done - self.loop.now_ns) + self.latency_ns
+        self.frames_carried += 1
+
+        delivered = frame.copy()
+        delivered.src_port = peer_port
+
+        def deliver():
+            delivered.timestamp_ns = self.loop.now_ns
+            peer.receive(delivered, peer_port)
+        self.loop.schedule(arrival_delay, deliver)

@@ -1,0 +1,83 @@
+"""Simulated nodes: hosts and Emu service nodes."""
+
+from repro.core.dataplane import NetFPGAData
+from repro.errors import NetSimError
+
+
+class Node:
+    """Base: something with ports attached to links."""
+
+    def __init__(self, name, num_ports=1):
+        self.name = name
+        self.num_ports = num_ports
+        self.links = {}
+
+    def attach_link(self, port, link):
+        if not 0 <= port < self.num_ports:
+            raise NetSimError("%s has no port %d" % (self.name, port))
+        if port in self.links:
+            raise NetSimError("%s port %d already attached"
+                              % (self.name, port))
+        self.links[port] = link
+
+    def send(self, frame, port=0):
+        link = self.links.get(port)
+        if link is None:
+            raise NetSimError("%s port %d not attached" % (self.name, port))
+        link.send(self, frame)
+
+    def receive(self, frame, port):
+        raise NotImplementedError
+
+
+class Host(Node):
+    """An end host: records arrivals, optionally auto-responds."""
+
+    def __init__(self, name, responder=None):
+        super().__init__(name, num_ports=1)
+        self.received = []
+        self.responder = responder
+        self.sent_count = 0
+
+    def receive(self, frame, port):
+        self.received.append(frame)
+        if self.responder is not None:
+            reply = self.responder(frame)
+            if reply is not None:
+                self.send(reply, port)
+
+    def send(self, frame, port=0):
+        self.sent_count += 1
+        super().send(frame, port)
+
+    def drain(self):
+        frames, self.received = self.received, []
+        return frames
+
+
+class ServiceNode(Node):
+    """An Emu service attached to the simulated network.
+
+    The *same service object* from the CPU/FPGA targets handles frames
+    here — the single-codebase claim, made concrete.
+    """
+
+    def __init__(self, name, service, num_ports=4):
+        super().__init__(name, num_ports)
+        self.service = service
+        self.frames_handled = 0
+        self.frames_dropped = 0
+
+    def receive(self, frame, port):
+        frame.src_port = port
+        dataplane = NetFPGAData(frame)
+        self.service.process(dataplane)
+        self.frames_handled += 1
+        if dataplane.dropped:
+            self.frames_dropped += 1
+            return
+        for out_port in range(self.num_ports):
+            if dataplane.dst_ports & (1 << out_port) and \
+                    out_port in self.links:
+                out = dataplane.to_frame()
+                self.send(out, out_port)

@@ -1,0 +1,43 @@
+"""The discrete-event core: a time-ordered event queue."""
+
+import heapq
+import itertools
+
+from repro.errors import NetSimError
+
+
+class EventLoop:
+    """Nanosecond-resolution event loop."""
+
+    def __init__(self):
+        self._queue = []
+        self._ids = itertools.count()
+        self.now_ns = 0
+        self.events_run = 0
+
+    def schedule(self, delay_ns, action):
+        """Run *action()* after *delay_ns* nanoseconds."""
+        if delay_ns < 0:
+            raise NetSimError("cannot schedule into the past")
+        heapq.heappush(self._queue,
+                       (self.now_ns + int(delay_ns), next(self._ids),
+                        action))
+
+    def run(self, until_ns=None, max_events=1_000_000):
+        """Process events until the queue drains (or a time/count cap)."""
+        while self._queue:
+            when, _, action = self._queue[0]
+            if until_ns is not None and when > until_ns:
+                break
+            heapq.heappop(self._queue)
+            self.now_ns = when
+            action()
+            self.events_run += 1
+            if self.events_run > max_events:
+                raise NetSimError("event cap exceeded (livelock?)")
+        if until_ns is not None:
+            self.now_ns = max(self.now_ns, until_ns)
+
+    @property
+    def pending(self):
+        return len(self._queue)

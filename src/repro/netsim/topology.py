@@ -1,0 +1,56 @@
+"""Network builder: the Mininet-style topology API."""
+
+from repro.errors import NetSimError
+from repro.netsim.link import Link
+from repro.netsim.node import Host, ServiceNode
+from repro.netsim.sim import EventLoop
+
+
+class Network:
+    """A set of nodes connected by links, plus the event loop."""
+
+    def __init__(self):
+        self.loop = EventLoop()
+        self.nodes = {}
+        self.links = []
+
+    def add_host(self, name, responder=None):
+        self._check_name(name)
+        host = Host(name, responder=responder)
+        self.nodes[name] = host
+        return host
+
+    def add_service(self, name, service, num_ports=4):
+        self._check_name(name)
+        node = ServiceNode(name, service, num_ports)
+        self.nodes[name] = node
+        return node
+
+    def connect(self, a, a_port, b, b_port, latency_ns=1000,
+                bandwidth_bps=10_000_000_000):
+        """Link node *a* port *a_port* to node *b* port *b_port*."""
+        node_a = self._resolve(a)
+        node_b = self._resolve(b)
+        link = Link(self.loop, latency_ns, bandwidth_bps)
+        link.attach(node_a, a_port)
+        link.attach(node_b, b_port)
+        self.links.append(link)
+        return link
+
+    def run(self, until_ns=None, max_events=1_000_000):
+        self.loop.run(until_ns=until_ns, max_events=max_events)
+
+    @property
+    def now_ns(self):
+        return self.loop.now_ns
+
+    def _resolve(self, node):
+        if isinstance(node, str):
+            if node not in self.nodes:
+                raise NetSimError("no node named %r" % node)
+            return self.nodes[node]
+        return node
+
+    def _check_name(self, name):
+        if name in self.nodes:
+            raise NetSimError("duplicate node name %r" % name)

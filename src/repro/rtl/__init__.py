@@ -1,0 +1,34 @@
+"""Register-transfer-level substrate.
+
+The paper's toolchain ends in Verilog simulated/synthesised by Xilinx
+tools; we have neither, so this package *is* the hardware substrate:
+
+* :mod:`repro.rtl.expr` — combinational expression IR with operator
+  overloading (add/mux/slice/concat/…).
+* :mod:`repro.rtl.signal` — wires and registers.
+* :mod:`repro.rtl.module` — netlist container: combinational and
+  sequential assignments, memories, submodule instances.
+* :mod:`repro.rtl.simulator` — two-phase cycle-accurate simulator.
+* :mod:`repro.rtl.resources` — LUT/FF/BRAM-equivalent estimator used for
+  the paper's "logic resources / memory resources" comparisons (Table 3,
+  Table 5).
+* :mod:`repro.rtl.verilog` — structural Verilog text emission (workflow
+  step B1 in Fig. 1).
+"""
+
+from repro.rtl.expr import (
+    Expr, Const, BinOp, UnOp, Mux, Slice, Concat, MemRead, const, mux,
+    cat, reduce_or, reduce_and, eq_any,
+)
+from repro.rtl.signal import Signal
+from repro.rtl.module import Module, Memory, Instance
+from repro.rtl.simulator import Simulator
+from repro.rtl.resources import ResourceReport, estimate_resources
+from repro.rtl.verilog import emit_verilog
+
+__all__ = [
+    "Expr", "Const", "BinOp", "UnOp", "Mux", "Slice", "Concat", "MemRead",
+    "const", "mux", "cat", "reduce_or", "reduce_and", "eq_any",
+    "Signal", "Module", "Memory", "Instance", "Simulator",
+    "ResourceReport", "estimate_resources", "emit_verilog",
+]

@@ -1,0 +1,304 @@
+"""Combinational expression IR.
+
+Expressions are immutable trees over signals and constants.  Widths are
+explicit everywhere (hardware has no implicit promotion); arithmetic
+results keep the operand width and wrap, exactly like a Verilog wire of
+that width.  Comparison and reduction operators are 1-bit.
+"""
+
+from repro.errors import WidthError
+
+
+def _mask(width):
+    return (1 << width) - 1
+
+
+class Expr:
+    """Base class for all combinational expressions."""
+
+    width = None  # set by subclasses
+
+    # -- operator sugar --------------------------------------------------
+
+    def _bin(self, op, other, result_width=None):
+        other = to_expr(other, self.width)
+        return BinOp(op, self, other, result_width)
+
+    def __add__(self, other):
+        return self._bin("+", other)
+
+    def __sub__(self, other):
+        return self._bin("-", other)
+
+    def __mul__(self, other):
+        return self._bin("*", other)
+
+    def __and__(self, other):
+        return self._bin("&", other)
+
+    def __or__(self, other):
+        return self._bin("|", other)
+
+    def __xor__(self, other):
+        return self._bin("^", other)
+
+    def __lshift__(self, other):
+        return self._bin("<<", other)
+
+    def __rshift__(self, other):
+        return self._bin(">>", other)
+
+    def __invert__(self):
+        return UnOp("~", self)
+
+    def eq(self, other):
+        return self._bin("==", other, result_width=1)
+
+    def ne(self, other):
+        return self._bin("!=", other, result_width=1)
+
+    def lt(self, other):
+        return self._bin("<", other, result_width=1)
+
+    def le(self, other):
+        return self._bin("<=", other, result_width=1)
+
+    def gt(self, other):
+        return self._bin(">", other, result_width=1)
+
+    def ge(self, other):
+        return self._bin(">=", other, result_width=1)
+
+    def __getitem__(self, key):
+        if isinstance(key, int):
+            return Slice(self, key, key)
+        if isinstance(key, slice):
+            if key.start is None or key.stop is None or key.step is not None:
+                raise WidthError("expression slice must be expr[msb:lsb]")
+            return Slice(self, key.start, key.stop)
+        raise TypeError("index must be int or slice")
+
+    # -- traversal --------------------------------------------------------
+
+    def children(self):
+        return ()
+
+    def signals(self):
+        """Yield every Signal referenced in this tree."""
+        from repro.rtl.signal import Signal
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Signal):
+                yield node
+            stack.extend(node.children())
+
+    def mem_reads(self):
+        """Yield every MemRead node in this tree."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, MemRead):
+                yield node
+            stack.extend(node.children())
+
+
+class Const(Expr):
+    """A literal with an explicit width."""
+
+    __slots__ = ("value", "width")
+
+    def __init__(self, value, width):
+        if width <= 0:
+            raise WidthError("constant width must be positive")
+        self.width = width
+        self.value = value & _mask(width)
+
+    def __repr__(self):
+        return "%d'd%d" % (self.width, self.value)
+
+
+class BinOp(Expr):
+    """Binary operator; comparisons produce 1-bit results."""
+
+    __slots__ = ("op", "lhs", "rhs", "width")
+
+    _COMPARES = {"==", "!=", "<", "<=", ">", ">="}
+    _SHIFTS = {"<<", ">>"}
+
+    def __init__(self, op, lhs, rhs, result_width=None):
+        if op not in self._COMPARES and op not in self._SHIFTS and \
+                op not in {"+", "-", "*", "&", "|", "^", "/", "%"}:
+            raise WidthError("unknown operator %r" % op)
+        if op not in self._SHIFTS and lhs.width != rhs.width:
+            raise WidthError(
+                "operator %s width mismatch: %d vs %d"
+                % (op, lhs.width, rhs.width)
+            )
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+        if result_width is not None:
+            self.width = result_width
+        elif op in self._COMPARES:
+            self.width = 1
+        else:
+            self.width = lhs.width
+
+    def children(self):
+        return (self.lhs, self.rhs)
+
+    def __repr__(self):
+        return "(%r %s %r)" % (self.lhs, self.op, self.rhs)
+
+
+class UnOp(Expr):
+    """Unary operator: bitwise not, reductions."""
+
+    __slots__ = ("op", "operand", "width")
+
+    def __init__(self, op, operand):
+        if op not in {"~", "|r", "&r", "^r", "!"}:
+            raise WidthError("unknown unary operator %r" % op)
+        self.op = op
+        self.operand = operand
+        self.width = operand.width if op == "~" else 1
+
+    def children(self):
+        return (self.operand,)
+
+    def __repr__(self):
+        return "(%s %r)" % (self.op, self.operand)
+
+
+class Mux(Expr):
+    """2:1 multiplexer: ``sel ? if_true : if_false``."""
+
+    __slots__ = ("sel", "if_true", "if_false", "width")
+
+    def __init__(self, sel, if_true, if_false):
+        if if_true.width != if_false.width:
+            raise WidthError(
+                "mux arm width mismatch: %d vs %d"
+                % (if_true.width, if_false.width)
+            )
+        self.sel = sel
+        self.if_true = if_true
+        self.if_false = if_false
+        self.width = if_true.width
+
+    def children(self):
+        return (self.sel, self.if_true, self.if_false)
+
+    def __repr__(self):
+        return "(%r ? %r : %r)" % (self.sel, self.if_true, self.if_false)
+
+
+class Slice(Expr):
+    """Bit extraction ``expr[msb:lsb]`` (inclusive, Verilog style)."""
+
+    __slots__ = ("operand", "msb", "lsb", "width")
+
+    def __init__(self, operand, msb, lsb):
+        if not 0 <= lsb <= msb < operand.width:
+            raise WidthError(
+                "slice [%d:%d] out of %d-bit value"
+                % (msb, lsb, operand.width)
+            )
+        self.operand = operand
+        self.msb = msb
+        self.lsb = lsb
+        self.width = msb - lsb + 1
+
+    def children(self):
+        return (self.operand,)
+
+    def __repr__(self):
+        return "%r[%d:%d]" % (self.operand, self.msb, self.lsb)
+
+
+class Concat(Expr):
+    """Bit concatenation ``{a, b, ...}``; first part is most significant."""
+
+    __slots__ = ("parts", "width")
+
+    def __init__(self, parts):
+        parts = tuple(parts)
+        if not parts:
+            raise WidthError("cannot concatenate zero parts")
+        self.parts = parts
+        self.width = sum(p.width for p in parts)
+
+    def children(self):
+        return self.parts
+
+    def __repr__(self):
+        return "{%s}" % ", ".join(repr(p) for p in self.parts)
+
+
+class MemRead(Expr):
+    """Asynchronous (combinational) memory read port."""
+
+    __slots__ = ("memory", "addr", "width")
+
+    def __init__(self, memory, addr):
+        self.memory = memory
+        self.addr = addr
+        self.width = memory.width
+
+    def children(self):
+        return (self.addr,)
+
+    def __repr__(self):
+        return "%s[%r]" % (self.memory.name, self.addr)
+
+
+# -- convenience constructors ---------------------------------------------
+
+def to_expr(value, width=None):
+    """Coerce ints (given a width hint) into :class:`Const`."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return Const(int(value), 1)
+    if isinstance(value, int):
+        if width is None:
+            raise WidthError("cannot infer width for bare int %d" % value)
+        return Const(value, width)
+    raise WidthError("cannot convert %r to an expression" % (value,))
+
+
+def const(value, width):
+    return Const(value, width)
+
+
+def mux(sel, if_true, if_false):
+    sel = to_expr(sel, 1)
+    if isinstance(if_true, int) and isinstance(if_false, Expr):
+        if_true = to_expr(if_true, if_false.width)
+    if isinstance(if_false, int) and isinstance(if_true, Expr):
+        if_false = to_expr(if_false, if_true.width)
+    return Mux(sel, if_true, if_false)
+
+
+def cat(*parts):
+    return Concat(parts)
+
+
+def reduce_or(expr):
+    return UnOp("|r", expr)
+
+
+def reduce_and(expr):
+    return UnOp("&r", expr)
+
+
+def eq_any(expr, values):
+    """1-bit expression: does *expr* equal any of the constant *values*?"""
+    result = None
+    for value in values:
+        term = expr.eq(Const(value, expr.width))
+        result = term if result is None else BinOp("|", result, term)
+    if result is None:
+        return Const(0, 1)
+    return result

@@ -1,0 +1,109 @@
+"""Structural Verilog emission (workflow step B1 of Fig. 1).
+
+The paper's pipeline ends in Verilog consumed by Xilinx Vivado.  We emit
+equivalent structural Verilog-2001 from the netlist IR so the workflow is
+complete end-to-end; the text is also used by tests to check that
+compiled designs have the expected shape (module ports, always blocks).
+"""
+
+from repro.rtl.expr import BinOp, Concat, Const, MemRead, Mux, Slice, UnOp
+from repro.rtl.module import flatten
+from repro.rtl.signal import Signal
+
+_BIN_VERILOG = {
+    "+": "+", "-": "-", "*": "*", "&": "&", "|": "|", "^": "^",
+    "<<": "<<", ">>": ">>", "/": "/", "%": "%",
+    "==": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">=",
+}
+
+
+def _vname(name):
+    return name.replace(".", "__")
+
+
+def _emit_expr(expr):
+    if isinstance(expr, Const):
+        return "%d'd%d" % (expr.width, expr.value)
+    if isinstance(expr, Signal):
+        return _vname(expr.name)
+    if isinstance(expr, BinOp):
+        return "(%s %s %s)" % (
+            _emit_expr(expr.lhs), _BIN_VERILOG[expr.op], _emit_expr(expr.rhs))
+    if isinstance(expr, UnOp):
+        inner = _emit_expr(expr.operand)
+        if expr.op == "~":
+            return "(~%s)" % inner
+        if expr.op == "|r":
+            return "(|%s)" % inner
+        if expr.op == "&r":
+            return "(&%s)" % inner
+        if expr.op == "^r":
+            return "(^%s)" % inner
+        if expr.op == "!":
+            return "(!%s)" % inner
+    if isinstance(expr, Mux):
+        return "(%s ? %s : %s)" % (
+            _emit_expr(expr.sel), _emit_expr(expr.if_true),
+            _emit_expr(expr.if_false))
+    if isinstance(expr, Slice):
+        if expr.msb == expr.lsb:
+            return "%s[%d]" % (_emit_expr(expr.operand), expr.lsb)
+        return "%s[%d:%d]" % (_emit_expr(expr.operand), expr.msb, expr.lsb)
+    if isinstance(expr, Concat):
+        return "{%s}" % ", ".join(_emit_expr(p) for p in expr.parts)
+    if isinstance(expr, MemRead):
+        return "%s[%s]" % (_vname(expr.memory.name), _emit_expr(expr.addr))
+    raise TypeError("cannot emit %r" % (expr,))
+
+
+def _range(width):
+    return "" if width == 1 else "[%d:0] " % (width - 1)
+
+
+def emit_verilog(module):
+    """Render *module* (flattened) as a structural Verilog string."""
+    flat = flatten(module) if module.instances else module
+    lines = []
+    ports = ["clk"]
+    ports += [_vname(s.name) for s in flat.inputs]
+    ports += [_vname(s.name) for s in flat.outputs]
+    lines.append("module %s (" % _vname(flat.name))
+    lines.append("  " + ",\n  ".join(ports))
+    lines.append(");")
+    lines.append("  input clk;")
+
+    output_names = {s.name for s in flat.outputs}
+    for sig in flat.inputs:
+        lines.append("  input %s%s;" % (_range(sig.width), _vname(sig.name)))
+    for sig in flat.signals.values():
+        if sig.kind == "input":
+            continue
+        direction = "output " if sig.name in output_names else ""
+        storage = "reg" if sig.kind == "reg" else "wire"
+        lines.append("  %s%s %s%s;" % (
+            direction, storage, _range(sig.width), _vname(sig.name)))
+
+    for mem in flat.memories.values():
+        addr_bits = max(1, (mem.depth - 1).bit_length())
+        lines.append("  reg %s%s [0:%d]; // %d-bit addr" % (
+            _range(mem.width), _vname(mem.name), mem.depth - 1, addr_bits))
+
+    lines.append("")
+    for target, expr in flat.comb_assigns.items():
+        lines.append("  assign %s = %s;" % (
+            _vname(target.name), _emit_expr(expr)))
+
+    if flat.sync_assigns or flat.mem_writes:
+        lines.append("")
+        lines.append("  always @(posedge clk) begin")
+        for target, expr in flat.sync_assigns.items():
+            lines.append("    %s <= %s;" % (
+                _vname(target.name), _emit_expr(expr)))
+        for mw in flat.mem_writes:
+            lines.append("    if (%s) %s[%s] <= %s;" % (
+                _emit_expr(mw.enable), _vname(mw.memory.name),
+                _emit_expr(mw.addr), _emit_expr(mw.data)))
+        lines.append("  end")
+
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

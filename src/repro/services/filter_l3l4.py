@@ -1,0 +1,162 @@
+"""L3–L4 filter (§4.1): iptables-style rules slotted into the switch.
+
+The paper ships "a tool that emulates the command-line parameter
+interface of IP tables" which "generates code that slots into our
+learning switch", turning it into an L3 filter (addresses, protocols)
+or L4 filter (TCP/UDP port ranges).  Here:
+
+* :class:`FilterRule` / :class:`L3L4Filter` — the rule engine over a
+  TCAM IP block;
+* :class:`FilteringSwitch` — the learning switch with the filter
+  slotted in front;
+* :mod:`repro.services.iptables_cli` — the command-line front-end.
+"""
+
+from repro.core.protocols.ipv4 import IPProtocols, IPv4Wrapper
+from repro.core.protocols.tcp import TCPWrapper
+from repro.core.protocols.udp import UDPWrapper
+from repro.errors import ParseError
+from repro.ip.tcam import TernaryCAM
+from repro.kiwi.runtime import pause
+from repro.services.base import EmuService
+from repro.services.switch import LearningSwitch
+
+ACCEPT = "ACCEPT"
+DROP = "DROP"
+
+
+class FilterRule:
+    """One match-and-verdict rule (a parsed iptables rule)."""
+
+    __slots__ = ("protocol", "src_ip", "src_mask", "dst_ip", "dst_mask",
+                 "sport_lo", "sport_hi", "dport_lo", "dport_hi", "verdict")
+
+    def __init__(self, protocol=None, src_ip=0, src_mask=0, dst_ip=0,
+                 dst_mask=0, sport_lo=0, sport_hi=0xFFFF, dport_lo=0,
+                 dport_hi=0xFFFF, verdict=DROP):
+        if verdict not in (ACCEPT, DROP):
+            raise ParseError("verdict must be ACCEPT or DROP")
+        self.protocol = protocol
+        self.src_ip = src_ip & 0xFFFFFFFF
+        self.src_mask = src_mask & 0xFFFFFFFF
+        self.dst_ip = dst_ip & 0xFFFFFFFF
+        self.dst_mask = dst_mask & 0xFFFFFFFF
+        self.sport_lo = sport_lo
+        self.sport_hi = sport_hi
+        self.dport_lo = dport_lo
+        self.dport_hi = dport_hi
+        self.verdict = verdict
+
+    def matches(self, protocol, src_ip, dst_ip, sport, dport):
+        if self.protocol is not None and protocol != self.protocol:
+            return False
+        if (src_ip & self.src_mask) != (self.src_ip & self.src_mask):
+            return False
+        if (dst_ip & self.dst_mask) != (self.dst_ip & self.dst_mask):
+            return False
+        if not self.sport_lo <= sport <= self.sport_hi:
+            return False
+        if not self.dport_lo <= dport <= self.dport_hi:
+            return False
+        return True
+
+    def __repr__(self):
+        proto = {None: "all", IPProtocols.ICMP: "icmp",
+                 IPProtocols.TCP: "tcp",
+                 IPProtocols.UDP: "udp"}.get(self.protocol, "?")
+        return "FilterRule(%s -> %s)" % (proto, self.verdict)
+
+
+class L3L4Filter:
+    """An ordered rule chain with a default policy.
+
+    Exact-prefix rules are additionally programmed into a TCAM netlist
+    so the design's resource cost is accounted like hardware would be.
+    """
+
+    def __init__(self, default_policy=ACCEPT, depth=64):
+        if default_policy not in (ACCEPT, DROP):
+            raise ParseError("default policy must be ACCEPT or DROP")
+        self.rules = []
+        self.default_policy = default_policy
+        self.tcam = TernaryCAM(key_width=72, value_width=1, depth=depth)
+        self.matched_rule = None
+
+    def append(self, rule):
+        self.rules.append(rule)
+        self._program_tcam()
+        return len(self.rules) - 1
+
+    def delete(self, index):
+        if not 0 <= index < len(self.rules):
+            raise ParseError("no rule %d" % index)
+        del self.rules[index]
+        self._program_tcam()
+
+    def flush(self):
+        self.rules = []
+        self._program_tcam()
+
+    def _program_tcam(self):
+        """Mirror prefix-matchable parts of the chain into the TCAM."""
+        for slot in range(self.tcam.depth):
+            self.tcam.invalidate(slot)
+        for slot, rule in enumerate(self.rules[:self.tcam.depth]):
+            key = ((rule.protocol or 0) << 64) | (rule.src_ip << 32) | \
+                rule.dst_ip
+            mask = ((0xFF if rule.protocol is not None else 0) << 64) | \
+                (rule.src_mask << 32) | rule.dst_mask
+            self.tcam.write(slot, key, mask,
+                            1 if rule.verdict == ACCEPT else 0)
+
+    def verdict(self, protocol, src_ip, dst_ip, sport=0, dport=0):
+        """First-match verdict, iptables chain semantics."""
+        for rule in self.rules:
+            if rule.matches(protocol, src_ip, dst_ip, sport, dport):
+                self.matched_rule = rule
+                return rule.verdict
+        self.matched_rule = None
+        return self.default_policy
+
+    def verdict_for_frame(self, tdata):
+        """Classify an Ethernet frame; non-IPv4 follows the default."""
+        if not tdata.is_ipv4():
+            return self.default_policy
+        ip = IPv4Wrapper(tdata)
+        sport = dport = 0
+        if ip.protocol == IPProtocols.TCP:
+            l4 = TCPWrapper(tdata)
+            sport, dport = l4.source_port, l4.destination_port
+        elif ip.protocol == IPProtocols.UDP:
+            l4 = UDPWrapper(tdata)
+            sport, dport = l4.source_port, l4.destination_port
+        return self.verdict(ip.protocol, ip.source_ip_address,
+                            ip.destination_ip_address, sport, dport)
+
+
+class FilteringSwitch(EmuService):
+    """The learning switch with the L3–L4 filter slotted in front."""
+
+    name = "filtering_switch"
+
+    def __init__(self, filter_chain=None, **switch_kwargs):
+        self.filter = filter_chain if filter_chain is not None \
+            else L3L4Filter()
+        self.switch = LearningSwitch(**switch_kwargs)
+        self.accepted = 0
+        self.filtered = 0
+
+    def on_frame(self, dataplane):
+        verdict = self.filter.verdict_for_frame(dataplane.tdata)
+        yield pause()
+        if verdict == DROP:
+            self.filtered += 1
+            dataplane.dst_ports = 0
+            return
+        self.accepted += 1
+        yield from self.switch.on_frame(dataplane)
+
+    def reset(self):
+        self.switch.reset()
+        self.accepted = 0
+        self.filtered = 0

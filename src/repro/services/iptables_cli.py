@@ -1,0 +1,152 @@
+"""iptables-style command-line front-end for the L3–L4 filter (§4.1).
+
+Accepts the familiar argument vocabulary and programs an
+:class:`~repro.services.filter_l3l4.L3L4Filter` instead of a Linux
+server's netfilter:
+
+    -A FORWARD -p tcp --dport 80 -j DROP
+    -A FORWARD -s 10.0.0.0/8 -j ACCEPT
+    -D FORWARD 2
+    -F FORWARD
+    -P FORWARD DROP
+"""
+
+from repro.core.protocols.ipv4 import IPProtocols
+from repro.errors import ParseError
+from repro.net.packet import ip_to_int
+from repro.services.filter_l3l4 import ACCEPT, DROP, FilterRule
+
+_PROTOCOLS = {
+    "icmp": IPProtocols.ICMP,
+    "tcp": IPProtocols.TCP,
+    "udp": IPProtocols.UDP,
+    "all": None,
+}
+
+
+def _parse_cidr(text):
+    """``"10.0.0.0/8"`` → (ip, mask); a bare address implies /32."""
+    if "/" in text:
+        addr, bits = text.split("/", 1)
+        try:
+            bits = int(bits)
+        except ValueError:
+            raise ParseError("bad prefix length %r" % bits)
+        if not 0 <= bits <= 32:
+            raise ParseError("prefix length %d out of range" % bits)
+    else:
+        addr, bits = text, 32
+    mask = 0 if bits == 0 else (0xFFFFFFFF << (32 - bits)) & 0xFFFFFFFF
+    return ip_to_int(addr), mask
+
+
+def _parse_port_range(text):
+    """``"80"`` or ``"1000:2000"`` → (lo, hi)."""
+    if ":" in text:
+        lo, hi = text.split(":", 1)
+    else:
+        lo = hi = text
+    try:
+        lo, hi = int(lo), int(hi)
+    except ValueError:
+        raise ParseError("bad port range %r" % text)
+    if not (0 <= lo <= 0xFFFF and 0 <= hi <= 0xFFFF and lo <= hi):
+        raise ParseError("port range %r out of order" % text)
+    return lo, hi
+
+
+class IptablesCli:
+    """Parses iptables-style argv lists and programs a filter chain."""
+
+    def __init__(self, filter_chain):
+        self.filter = filter_chain
+
+    def run(self, argv):
+        """Apply one command; returns a status string."""
+        if isinstance(argv, str):
+            argv = argv.split()
+        argv = list(argv)
+        if not argv:
+            raise ParseError("empty iptables command")
+        action = argv.pop(0)
+        if action == "-A":
+            return self._append(argv)
+        if action == "-D":
+            return self._delete(argv)
+        if action == "-F":
+            self.filter.flush()
+            return "flushed"
+        if action == "-P":
+            return self._policy(argv)
+        if action == "-L":
+            return self._list()
+        raise ParseError("unsupported iptables action %r" % action)
+
+    def _append(self, argv):
+        if not argv or argv.pop(0) != "FORWARD":
+            raise ParseError("only the FORWARD chain is supported")
+        rule_kwargs = {}
+        verdict = None
+        it = iter(argv)
+        for flag in it:
+            if flag in ("-p", "--protocol"):
+                proto = next(it, None)
+                if proto not in _PROTOCOLS:
+                    raise ParseError("unknown protocol %r" % proto)
+                rule_kwargs["protocol"] = _PROTOCOLS[proto]
+            elif flag in ("-s", "--source"):
+                ip, mask = _parse_cidr(_next(it, flag))
+                rule_kwargs["src_ip"] = ip
+                rule_kwargs["src_mask"] = mask
+            elif flag in ("-d", "--destination"):
+                ip, mask = _parse_cidr(_next(it, flag))
+                rule_kwargs["dst_ip"] = ip
+                rule_kwargs["dst_mask"] = mask
+            elif flag == "--sport":
+                lo, hi = _parse_port_range(_next(it, flag))
+                rule_kwargs["sport_lo"] = lo
+                rule_kwargs["sport_hi"] = hi
+            elif flag == "--dport":
+                lo, hi = _parse_port_range(_next(it, flag))
+                rule_kwargs["dport_lo"] = lo
+                rule_kwargs["dport_hi"] = hi
+            elif flag in ("-j", "--jump"):
+                verdict = _next(it, flag)
+            else:
+                raise ParseError("unsupported iptables flag %r" % flag)
+        if verdict not in (ACCEPT, DROP):
+            raise ParseError("rule needs -j ACCEPT or -j DROP")
+        index = self.filter.append(FilterRule(verdict=verdict,
+                                              **rule_kwargs))
+        return "appended rule %d" % index
+
+    def _delete(self, argv):
+        if len(argv) != 2 or argv[0] != "FORWARD":
+            raise ParseError("usage: -D FORWARD <rulenum>")
+        try:
+            rulenum = int(argv[1])
+        except ValueError:
+            raise ParseError("bad rule number %r" % argv[1])
+        self.filter.delete(rulenum - 1)     # iptables numbers from 1
+        return "deleted rule %d" % rulenum
+
+    def _policy(self, argv):
+        if len(argv) != 2 or argv[0] != "FORWARD":
+            raise ParseError("usage: -P FORWARD <ACCEPT|DROP>")
+        if argv[1] not in (ACCEPT, DROP):
+            raise ParseError("policy must be ACCEPT or DROP")
+        self.filter.default_policy = argv[1]
+        return "policy %s" % argv[1]
+
+    def _list(self):
+        lines = ["Chain FORWARD (policy %s)" % self.filter.default_policy]
+        for index, rule in enumerate(self.filter.rules):
+            lines.append("%4d %r" % (index + 1, rule))
+        return "\n".join(lines)
+
+
+def _next(it, flag):
+    value = next(it, None)
+    if value is None:
+        raise ParseError("flag %s needs an argument" % flag)
+    return value

@@ -1,0 +1,115 @@
+"""In-dataplane look-aside LRU cache (§4.4 "Caching").
+
+The SwitchKV-inspired use case: GET requests whose key is cached are
+answered directly from the dataplane; misses are forwarded on to the
+storage server, and the server's responses populate the cache on the
+way back.  Eviction is the Fig. 9 LRU (HashCAM + NaughtyQ) — the logic
+that "would be difficult in P4 because eviction must be managed by the
+control plane".
+"""
+
+from repro.core import netfpga as NetFPGA
+from repro.core.lru import LRU
+from repro.core.protocols.ethernet import EthernetWrapper
+from repro.core.protocols.ipv4 import IPProtocols, IPv4Wrapper
+from repro.core.protocols.memcached import (
+    BinaryMagic, BinaryOpcodes, BinaryStatus, MemcachedBinaryWrapper,
+    build_binary_response, build_udp_frame_header, split_udp_frame,
+)
+from repro.core.protocols.udp import UDPWrapper
+from repro.errors import ParseError
+from repro.kiwi.runtime import pause
+from repro.services.base import EmuService
+
+CACHE_PORT = 11211
+
+
+class KVCacheService(EmuService):
+    """Cache sitting between clients (port 0) and a server (port 1)."""
+
+    name = "kvcache"
+
+    def __init__(self, client_port=0, server_port=1, depth=64,
+                 listen_port=CACHE_PORT):
+        self.client_port = client_port
+        self.server_port = server_port
+        self.listen_port = listen_port
+        self.lru = LRU(key_width=64, value_width=64, depth=depth)
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.populated = 0
+
+    @staticmethod
+    def _key64(key):
+        """Fold a key (≤8 bytes meaningfully) into the CAM's 64-bit key."""
+        return int.from_bytes(bytes(key[:8]).ljust(8, b"\x00"), "big")
+
+    def on_frame(self, dataplane):
+        if not dataplane.tdata.is_ipv4():
+            return
+        ip = IPv4Wrapper(dataplane.tdata)
+        if ip.protocol != IPProtocols.UDP:
+            self._forward(dataplane)
+            return
+        udp = UDPWrapper(dataplane.tdata)
+        from_client = dataplane.src_port == self.client_port
+        port_field = udp.destination_port if from_client \
+            else udp.source_port
+        if port_field != self.listen_port:
+            self._forward(dataplane)
+            return
+        yield pause()
+
+        try:
+            request_id, body = split_udp_frame(udp.payload())
+            message = MemcachedBinaryWrapper(body)
+        except ParseError:
+            self._forward(dataplane)
+            return
+        yield pause()
+
+        if from_client and message.is_request and \
+                message.opcode == BinaryOpcodes.GET:
+            result = self.lru.lookup(self._key64(message.key()))
+            yield pause()
+            if result.matched:
+                self.cache_hits += 1
+                self._answer(dataplane, ip, udp, request_id, message,
+                             result.result)
+                return
+            self.cache_misses += 1
+            self._forward(dataplane)
+            return
+        if not from_client and message.is_response and \
+                message.opcode == BinaryOpcodes.GET and \
+                message.status == BinaryStatus.NO_ERROR:
+            value = message.value()
+            if len(value) == 8:
+                self.lru.cache(self._key64(message.key()),
+                               int.from_bytes(value, "big"))
+                self.populated += 1
+            yield pause()
+        self._forward(dataplane)
+
+    def _forward(self, dataplane):
+        out = self.server_port if dataplane.src_port == self.client_port \
+            else self.client_port
+        NetFPGA.set_output_port(dataplane, out)
+
+    def _answer(self, dataplane, ip, udp, request_id, message, value):
+        response = build_binary_response(
+            BinaryOpcodes.GET, value=int(value).to_bytes(8, "big"),
+            opaque=message.opaque, extras=b"\x00" * 4)
+        eth = EthernetWrapper(dataplane.tdata)
+        eth.swap_macs()
+        ip.swap_ips()
+        udp.swap_ports()
+        udp.set_payload(build_udp_frame_header(request_id) + response)
+        ip.total_length = ip.header_bytes + udp.length
+        ip.update_checksum()
+        udp.update_checksum(ip)
+        NetFPGA.send_back(dataplane)
+
+    def reset(self):
+        self.lru = LRU(key_width=64, value_width=64, depth=self.lru.depth)
+        self.cache_hits = self.cache_misses = self.populated = 0

@@ -1,0 +1,184 @@
+"""NAT gateway (§4.4) — UDP and TCP, "written entirely in C#".
+
+Port-restricted NAPT between a local network (port ``LAN_PORT``) and an
+external network (port ``WAN_PORT``):
+
+* outbound packets get their source rewritten to the gateway's public
+  address and an allocated public port; the mapping is remembered;
+* inbound packets to a mapped public port are rewritten back to the
+  private endpoint; unmapped inbound traffic is dropped.
+
+ICMP echo packets are translated by (identifier) the same way, so
+``ping`` through the gateway works.
+"""
+
+from repro.core import netfpga as NetFPGA
+from repro.core.protocols.ethernet import EthernetWrapper
+from repro.core.protocols.icmp import ICMPWrapper
+from repro.core.protocols.ipv4 import IPProtocols, IPv4Wrapper
+from repro.core.protocols.tcp import TCPWrapper
+from repro.core.protocols.udp import UDPWrapper
+from repro.kiwi.runtime import pause
+from repro.services.base import EmuService
+
+LAN_PORT = 0
+WAN_PORT = 1
+FIRST_PUBLIC_PORT = 10000
+
+
+class NatEntry:
+    """One translation: (private ip, private port) <-> public port."""
+
+    __slots__ = ("private_ip", "private_port", "public_port", "protocol")
+
+    def __init__(self, private_ip, private_port, public_port, protocol):
+        self.private_ip = private_ip
+        self.private_port = private_port
+        self.public_port = public_port
+        self.protocol = protocol
+
+
+class NatService(EmuService):
+    """NAPT gateway between a LAN-side and a WAN-side port."""
+
+    name = "nat"
+
+    def __init__(self, public_ip, gateway_mac=0x02_00_00_00_00_05,
+                 wan_next_hop_mac=0x02_00_00_00_01_00,
+                 lan_port=LAN_PORT, wan_port=WAN_PORT,
+                 max_entries=4096):
+        self.public_ip = public_ip
+        self.gateway_mac = gateway_mac
+        self.wan_next_hop_mac = wan_next_hop_mac
+        self.lan_port = lan_port
+        self.wan_port = wan_port
+        self.max_entries = max_entries
+        self._next_port = FIRST_PUBLIC_PORT
+        self._outbound = {}      # (proto, priv_ip, priv_port) -> entry
+        self._inbound = {}       # (proto, public_port) -> entry
+        self._lan_macs = {}      # private ip -> mac (learned)
+        self.translated_out = 0
+        self.translated_in = 0
+        self.dropped = 0
+
+    # -- mapping -------------------------------------------------------------
+
+    def _allocate(self, protocol, private_ip, private_port):
+        key = (protocol, private_ip, private_port)
+        entry = self._outbound.get(key)
+        if entry is None:
+            if len(self._outbound) >= self.max_entries:
+                return None                     # table exhausted
+            public_port = self._next_port
+            self._next_port += 1
+            if self._next_port > 0xFFFF:
+                self._next_port = FIRST_PUBLIC_PORT
+            entry = NatEntry(private_ip, private_port, public_port,
+                             protocol)
+            self._outbound[key] = entry
+            self._inbound[(protocol, public_port)] = entry
+        return entry
+
+    def mapping_for(self, protocol, private_ip, private_port):
+        """Inspect the translation table (tests/debugging)."""
+        return self._outbound.get((protocol, private_ip, private_port))
+
+    # -- dataplane -----------------------------------------------------------
+
+    def on_frame(self, dataplane):
+        if not dataplane.tdata.is_ipv4():
+            self.dropped += 1
+            return
+        ip = IPv4Wrapper(dataplane.tdata)
+        outbound = dataplane.src_port == self.lan_port
+        yield pause()
+
+        if ip.protocol == IPProtocols.UDP:
+            l4 = UDPWrapper(dataplane.tdata)
+        elif ip.protocol == IPProtocols.TCP:
+            l4 = TCPWrapper(dataplane.tdata)
+        elif ip.protocol == IPProtocols.ICMP:
+            yield from self._translate_icmp(dataplane, ip, outbound)
+            return
+        else:
+            self.dropped += 1
+            return
+        yield pause()
+
+        if outbound:
+            self._lan_macs[ip.source_ip_address] = \
+                EthernetWrapper(dataplane.tdata).source_mac
+            entry = self._allocate(ip.protocol, ip.source_ip_address,
+                                   l4.source_port)
+            if entry is None:
+                self.dropped += 1
+                return
+            yield pause()
+            ip.source_ip_address = self.public_ip
+            l4.source_port = entry.public_port
+            self._finish(dataplane, ip, l4, self.wan_port,
+                         self.wan_next_hop_mac)
+            self.translated_out += 1
+        else:
+            entry = self._inbound.get((ip.protocol, l4.destination_port))
+            if entry is None or ip.destination_ip_address != self.public_ip:
+                self.dropped += 1
+                return
+            yield pause()
+            ip.destination_ip_address = entry.private_ip
+            l4.destination_port = entry.private_port
+            dst_mac = self._lan_macs.get(entry.private_ip, 0xFFFFFFFFFFFF)
+            self._finish(dataplane, ip, l4, self.lan_port, dst_mac)
+            self.translated_in += 1
+
+    def _translate_icmp(self, dataplane, ip, outbound):
+        icmp = ICMPWrapper(dataplane.tdata)
+        yield pause()
+        if outbound:
+            entry = self._allocate(IPProtocols.ICMP, ip.source_ip_address,
+                                   icmp.identifier)
+            if entry is None:
+                self.dropped += 1
+                return
+            self._lan_macs[ip.source_ip_address] = \
+                EthernetWrapper(dataplane.tdata).source_mac
+            ip.source_ip_address = self.public_ip
+            icmp.identifier = entry.public_port
+            self._finish(dataplane, ip, icmp, self.wan_port,
+                         self.wan_next_hop_mac)
+            self.translated_out += 1
+        else:
+            entry = self._inbound.get((IPProtocols.ICMP, icmp.identifier))
+            if entry is None or ip.destination_ip_address != self.public_ip:
+                self.dropped += 1
+                return
+            ip.destination_ip_address = entry.private_ip
+            icmp.identifier = entry.private_port
+            dst_mac = self._lan_macs.get(entry.private_ip, 0xFFFFFFFFFFFF)
+            self._finish(dataplane, ip, icmp, self.lan_port, dst_mac)
+            self.translated_in += 1
+
+    def _finish(self, dataplane, ip, l4, out_port, dst_mac):
+        eth = EthernetWrapper(dataplane.tdata)
+        eth.source_mac = self.gateway_mac
+        eth.destination_mac = dst_mac
+        ip.ttl = max(1, ip.ttl - 1)
+        ip.update_checksum()
+        if isinstance(l4, (UDPWrapper, TCPWrapper)):
+            l4.update_checksum(ip)
+        else:
+            l4.update_checksum()
+        NetFPGA.set_output_port(dataplane, out_port)
+
+    def datapath_extra_cycles(self, frame):
+        """Header rewrite plus incremental L3 checksum and a full L4
+        checksum pass over the translated segment (2 B/cycle)."""
+        l4_bytes = max(0, len(frame.data) - 34)
+        return 16 + l4_bytes // 2
+
+    def reset(self):
+        self._outbound.clear()
+        self._inbound.clear()
+        self._lan_macs.clear()
+        self._next_port = FIRST_PUBLIC_PORT
+        self.translated_out = self.translated_in = self.dropped = 0

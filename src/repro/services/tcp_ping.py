@@ -1,0 +1,81 @@
+"""TCP ping responder (§4.2).
+
+Performs the first two steps of the three-way handshake: a SYN to a
+configured (address, port set) is answered with SYN-ACK; a closed port
+gets RST, so reachability probing works even where ICMP is filtered —
+the Pingmesh-style failure case the paper cites.  The client never
+completes the handshake (it sends RST after measuring), so no state is
+kept — which is what makes this implementable at line rate.
+"""
+
+from repro.core import netfpga as NetFPGA
+from repro.core.protocols.ethernet import EthernetWrapper
+from repro.core.protocols.ipv4 import IPProtocols, IPv4Wrapper
+from repro.core.protocols.tcp import TCPFlags, TCPWrapper
+from repro.kiwi.runtime import pause
+from repro.services.base import EmuService
+
+DEFAULT_ISS = 0x1000_0000    # deterministic initial sequence number
+
+
+class TcpPingService(EmuService):
+    """SYN → SYN-ACK responder for reachability probing."""
+
+    name = "tcp_ping"
+
+    def __init__(self, my_ip, my_mac=0x02_00_00_00_00_02,
+                 open_ports=(7, 80), iss=DEFAULT_ISS):
+        self.my_ip = my_ip
+        self.my_mac = my_mac
+        self.open_ports = set(open_ports)
+        self.iss = iss
+        self.syns_seen = 0
+        self.synacks_sent = 0
+        self.rsts_sent = 0
+
+    def on_frame(self, dataplane):
+        if not dataplane.tdata.is_ipv4():
+            return
+        ip = IPv4Wrapper(dataplane.tdata)
+        if ip.protocol != IPProtocols.TCP or \
+                ip.destination_ip_address != self.my_ip:
+            return
+        yield pause()
+
+        tcp = TCPWrapper(dataplane.tdata)
+        if not tcp.is_syn:
+            return
+        self.syns_seen += 1
+        port_open = tcp.destination_port in self.open_ports
+        yield pause()
+
+        eth = EthernetWrapper(dataplane.tdata)
+        eth.swap_macs()
+        ip.swap_ips()
+        ip.ttl = 64
+        tcp.swap_ports()
+        yield pause()
+
+        client_seq = tcp.sequence_number
+        if port_open:
+            tcp.flags = TCPFlags.SYN | TCPFlags.ACK
+            tcp.ack_number = (client_seq + 1) & 0xFFFFFFFF
+            tcp.sequence_number = self.iss
+            self.synacks_sent += 1
+        else:
+            tcp.flags = TCPFlags.RST | TCPFlags.ACK
+            tcp.ack_number = (client_seq + 1) & 0xFFFFFFFF
+            tcp.sequence_number = 0
+            self.rsts_sent += 1
+        yield pause()
+
+        ip.update_checksum()
+        tcp.update_checksum(ip)
+        NetFPGA.send_back(dataplane)
+
+    def datapath_extra_cycles(self, frame):
+        """TCP checksum walks (pseudo-header + segment, verify and
+        regenerate at 2 B/cycle) plus IP header checksum and the
+        sequence/ack arithmetic unit."""
+        segment_bytes = max(0, len(frame.data) - 34) + 12
+        return 24 + segment_bytes

@@ -1,0 +1,22 @@
+"""Heterogeneous execution targets (§3.3, contribution 2).
+
+The same service object runs on all of them:
+
+* :mod:`repro.targets.cpu`     — workflow A: an ordinary process over
+  virtual NICs (software semantics; develop/test/debug).
+* :mod:`repro.targets.fpga`    — workflow B/C: the NetFPGA SUME model —
+  reference pipeline (Fig. 10) around the service as the "main logical
+  core", with a 200 MHz cycle/latency/throughput model.
+* :mod:`repro.netsim`          — the Mininet-style simulated network
+  (services attach to simulated hosts' links).
+* :mod:`repro.targets.multicore` — N service cores, one per port
+  (§5.4's 4-core Memcached experiment).
+"""
+
+from repro.targets.cpu import CpuTarget
+from repro.targets.fpga import FpgaTarget, FpgaTimingModel
+from repro.targets.pipeline import NetfpgaPipeline
+from repro.targets.multicore import MultiCoreTarget
+
+__all__ = ["CpuTarget", "FpgaTarget", "FpgaTimingModel", "NetfpgaPipeline",
+           "MultiCoreTarget"]

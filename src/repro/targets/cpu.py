@@ -1,0 +1,49 @@
+"""The CPU target (workflow A of Fig. 1): software semantics.
+
+The service runs as an ordinary process: frames arrive on virtual
+interfaces (tap-style), the handler runs to completion per frame, and
+replies leave on the interfaces the output bitmap selects.  This is the
+develop/test/debug environment — functional, not timing-accurate.
+"""
+
+from repro.core.dataplane import NetFPGAData
+from repro.errors import TargetError
+from repro.net.interfaces import VirtualInterface
+
+
+class CpuTarget:
+    """Run a service over a set of virtual network interfaces."""
+
+    def __init__(self, service, num_ports=4):
+        self.service = service
+        self.interfaces = [VirtualInterface("veth%d" % port)
+                           for port in range(num_ports)]
+        self.frames_processed = 0
+
+    def interface(self, port):
+        if not 0 <= port < len(self.interfaces):
+            raise TargetError("no interface %d" % port)
+        return self.interfaces[port]
+
+    def send(self, frame):
+        """Inject one frame; returns the list of (port, frame) emitted."""
+        dataplane = NetFPGAData(frame)
+        self.service.process(dataplane)
+        self.frames_processed += 1
+        emitted = []
+        for port, interface in enumerate(self.interfaces):
+            if dataplane.dst_ports & (1 << port):
+                out = dataplane.to_frame()
+                interface.transmit(out)
+                emitted.append((port, out))
+        return emitted
+
+    def poll(self):
+        """Drain any frames queued on the interfaces' RX sides and
+        process them (the main loop of the x86 runtime)."""
+        emitted = []
+        for port, interface in enumerate(self.interfaces):
+            for frame in interface.drain_rx():
+                frame.src_port = port
+                emitted.extend(self.send(frame))
+        return emitted

@@ -1,0 +1,109 @@
+"""Functional model of the NetFPGA reference pipeline (Fig. 10).
+
+Four 10G ports feed per-port input FIFOs; a round-robin input arbiter
+picks one frame at a time into the *main logical core* (the Emu
+service); the core's output bitmap fans the frame out into per-port
+output queues, which drain onto the wires.
+
+"Emu capitalizes on this generic NetFPGA design: we target only the
+main logical core and build upon all other components to be shared
+between services."  This module is those shared components.
+"""
+
+from repro.core.dataplane import NetFPGAData
+from repro.errors import TargetError
+from repro.ip.fifo import SyncFIFO
+
+BUS_BYTES = 32                  # 256-bit AXI-Stream datapath
+INPUT_QUEUE_DEPTH = 64
+OUTPUT_QUEUE_DEPTH = 64
+
+
+class NetfpgaPipeline:
+    """Input arbiter + main logical core slot + output queues."""
+
+    def __init__(self, service, num_ports=4):
+        self.service = service
+        self.num_ports = num_ports
+        self.input_queues = [SyncFIFO(width=8, depth=INPUT_QUEUE_DEPTH)
+                             for _ in range(num_ports)]
+        self.output_queues = [SyncFIFO(width=8, depth=OUTPUT_QUEUE_DEPTH)
+                              for _ in range(num_ports)]
+        self._arbiter_next = 0
+        self.frames_in = 0
+        self.frames_out = 0
+        self.frames_dropped_ingress = 0
+        self.core_busy_cycles = 0
+
+    def receive(self, frame):
+        """A frame arrives on its ``src_port``; queue it for the arbiter."""
+        if not 0 <= frame.src_port < self.num_ports:
+            raise TargetError("no port %d on this pipeline"
+                              % frame.src_port)
+        queue = self.input_queues[frame.src_port]
+        if not queue.try_push(frame):
+            self.frames_dropped_ingress += 1
+            return False
+        self.frames_in += 1
+        return True
+
+    def arbitrate(self):
+        """Round-robin pick of the next queued frame (or ``None``)."""
+        for offset in range(self.num_ports):
+            port = (self._arbiter_next + offset) % self.num_ports
+            queue = self.input_queues[port]
+            if not queue.empty:
+                self._arbiter_next = (port + 1) % self.num_ports
+                return queue.pop()
+        return None
+
+    def run_core(self, frame):
+        """Push one frame through the main logical core.
+
+        Returns ``(dataplane, core_cycles)`` — hardware semantics, so
+        the cycle count is measured, not assumed.
+        """
+        dataplane = NetFPGAData(frame)
+        dataplane, cycles = self.service.process_counting(dataplane)
+        self.core_busy_cycles += cycles
+        return dataplane, cycles
+
+    def dispatch(self, dataplane):
+        """Fan the core's decision out into the output queues."""
+        emitted = []
+        for port in range(self.num_ports):
+            if dataplane.dst_ports & (1 << port):
+                out_frame = dataplane.to_frame()
+                out_frame.src_port = dataplane.src_port
+                if self.output_queues[port].try_push((port, out_frame)):
+                    emitted.append((port, out_frame))
+                    self.frames_out += 1
+        return emitted
+
+    def process_frame(self, frame):
+        """Full path: receive → arbitrate → core → output queues.
+
+        Returns ``(emitted, core_cycles)`` where *emitted* is a list of
+        ``(port, frame)``.
+        """
+        if not self.receive(frame):
+            return [], 0
+        queued = self.arbitrate()
+        dataplane, cycles = self.run_core(queued)
+        emitted = self.dispatch(dataplane)
+        return emitted, cycles
+
+    def drain_port(self, port):
+        """Pop everything sitting in one output queue."""
+        frames = []
+        queue = self.output_queues[port]
+        while not queue.empty:
+            frames.append(queue.pop()[1])
+        return frames
+
+    def occupancy(self):
+        """Queue occupancies, for monitoring/debug."""
+        return {
+            "input": [q.occupancy for q in self.input_queues],
+            "output": [q.occupancy for q in self.output_queues],
+        }

@@ -1,0 +1,132 @@
+"""Typed field access over byte buffers (paper Fig. 4).
+
+The Emu library exposes ``BitUtil.Get32``/``BitUtil.Set32`` so protocol
+wrappers can define named, typed properties over a raw frame.  Network
+byte order (big-endian) is used throughout, matching wire formats.
+
+All setters operate on :class:`bytearray` in place, because the wrappers
+share one underlying frame buffer (the dataplane ``tdata``).
+"""
+
+from repro.errors import BitRangeError
+
+
+def _check(buf, offset, nbytes):
+    if offset < 0:
+        raise BitRangeError("negative offset %d" % offset)
+    if offset + nbytes > len(buf):
+        raise BitRangeError(
+            "access of %d bytes at offset %d overruns %d-byte buffer"
+            % (nbytes, offset, len(buf))
+        )
+
+
+class BitUtil:
+    """Static helpers for reading and writing big-endian fields."""
+
+    @staticmethod
+    def get(buf, offset, nbytes):
+        """Read *nbytes* at *offset* as an unsigned big-endian integer."""
+        _check(buf, offset, nbytes)
+        return int.from_bytes(bytes(buf[offset:offset + nbytes]), "big")
+
+    @staticmethod
+    def set(buf, offset, nbytes, value):
+        """Write *value* as *nbytes* big-endian bytes at *offset*."""
+        _check(buf, offset, nbytes)
+        if value < 0:
+            raise BitRangeError("value must be unsigned, got %d" % value)
+        mask = (1 << (8 * nbytes)) - 1
+        buf[offset:offset + nbytes] = (value & mask).to_bytes(nbytes, "big")
+
+    # Named-width variants mirroring the paper's API surface.
+
+    @staticmethod
+    def get8(buf, offset):
+        return BitUtil.get(buf, offset, 1)
+
+    @staticmethod
+    def set8(buf, offset, value):
+        BitUtil.set(buf, offset, 1, value)
+
+    @staticmethod
+    def get16(buf, offset):
+        return BitUtil.get(buf, offset, 2)
+
+    @staticmethod
+    def set16(buf, offset, value):
+        BitUtil.set(buf, offset, 2, value)
+
+    @staticmethod
+    def get32(buf, offset):
+        return BitUtil.get(buf, offset, 4)
+
+    @staticmethod
+    def set32(buf, offset, value):
+        BitUtil.set(buf, offset, 4, value)
+
+    @staticmethod
+    def get48(buf, offset):
+        return BitUtil.get(buf, offset, 6)
+
+    @staticmethod
+    def set48(buf, offset, value):
+        BitUtil.set(buf, offset, 6, value)
+
+    @staticmethod
+    def get64(buf, offset):
+        return BitUtil.get(buf, offset, 8)
+
+    @staticmethod
+    def set64(buf, offset, value):
+        BitUtil.set(buf, offset, 8, value)
+
+    @staticmethod
+    def get_bit(buf, byte_offset, bit):
+        """Read a single bit; bit 7 is the most significant of the byte."""
+        if not 0 <= bit <= 7:
+            raise BitRangeError("bit index %d out of range" % bit)
+        return (BitUtil.get8(buf, byte_offset) >> bit) & 1
+
+    @staticmethod
+    def set_bit(buf, byte_offset, bit, value):
+        """Write a single bit in place."""
+        if not 0 <= bit <= 7:
+            raise BitRangeError("bit index %d out of range" % bit)
+        byte = BitUtil.get8(buf, byte_offset)
+        if value:
+            byte |= 1 << bit
+        else:
+            byte &= ~(1 << bit) & 0xFF
+        BitUtil.set8(buf, byte_offset, byte)
+
+    @staticmethod
+    def get_bits(buf, byte_offset, msb, width):
+        """Read *width* bits ending-aligned below *msb* within one byte."""
+        if width < 1 or msb - width + 1 < 0 or msb > 7:
+            raise BitRangeError("bit field [%d:%d] out of byte" % (msb, width))
+        byte = BitUtil.get8(buf, byte_offset)
+        return (byte >> (msb - width + 1)) & ((1 << width) - 1)
+
+    @staticmethod
+    def set_bits(buf, byte_offset, msb, width, value):
+        """Write a sub-byte bit field in place."""
+        if width < 1 or msb - width + 1 < 0 or msb > 7:
+            raise BitRangeError("bit field [%d:%d] out of byte" % (msb, width))
+        shift = msb - width + 1
+        mask = ((1 << width) - 1) << shift
+        byte = BitUtil.get8(buf, byte_offset)
+        byte = (byte & ~mask & 0xFF) | ((value << shift) & mask)
+        BitUtil.set8(buf, byte_offset, byte)
+
+    @staticmethod
+    def get_bytes(buf, offset, nbytes):
+        """Copy *nbytes* out of the buffer as immutable ``bytes``."""
+        _check(buf, offset, nbytes)
+        return bytes(buf[offset:offset + nbytes])
+
+    @staticmethod
+    def set_bytes(buf, offset, data):
+        """Copy *data* into the buffer at *offset*."""
+        _check(buf, offset, len(data))
+        buf[offset:offset + len(data)] = data

@@ -1,0 +1,266 @@
+"""Wide machine words with full operator overloads (paper §3.2 (iv)).
+
+C#'s widest primitive is 64 bits; Emu needs wider I/O buses (the NetFPGA
+SUME datapath is 256 bits), so it defines user types for larger words and
+"provides overloads for all of the arithmetic operators needed".
+
+:class:`WideWord` is an immutable fixed-width unsigned integer.  All
+arithmetic wraps modulo ``2**width`` — the semantics of a hardware bus —
+and mixed-width arithmetic is rejected, because on hardware the widths of
+both operands are explicit in the netlist.
+"""
+
+from repro.errors import WidthError
+
+
+class WideWord:
+    """An immutable unsigned integer of a fixed bit width."""
+
+    __slots__ = ("_value", "_width")
+
+    def __init__(self, value=0, width=128):
+        if width <= 0:
+            raise WidthError("width must be positive, got %d" % width)
+        if isinstance(value, WideWord):
+            value = value.value
+        if not isinstance(value, int):
+            raise WidthError("value must be an int, got %r" % (value,))
+        self._width = width
+        self._value = value & self.mask_for(width)
+
+    @staticmethod
+    def mask_for(width):
+        return (1 << width) - 1
+
+    @property
+    def value(self):
+        return self._value
+
+    @property
+    def width(self):
+        return self._width
+
+    @property
+    def mask(self):
+        return self.mask_for(self._width)
+
+    # -- construction helpers -------------------------------------------
+
+    @classmethod
+    def from_bytes(cls, data, width=None):
+        """Big-endian bytes → word; width defaults to ``8*len(data)``."""
+        if width is None:
+            width = 8 * len(data)
+        return cls(int.from_bytes(bytes(data), "big"), width)
+
+    def to_bytes(self):
+        """Word → big-endian bytes, padded to the word's full width."""
+        nbytes = (self._width + 7) // 8
+        return self._value.to_bytes(nbytes, "big")
+
+    def _coerce(self, other):
+        if isinstance(other, WideWord):
+            if other.width != self._width:
+                raise WidthError(
+                    "width mismatch: %d vs %d" % (self._width, other.width)
+                )
+            return other.value
+        if isinstance(other, int):
+            return other
+        return NotImplemented
+
+    def _make(self, value):
+        return type(self)(value, self._width) if type(self) is WideWord \
+            else type(self)(value)
+
+    # -- arithmetic (mod 2**width) --------------------------------------
+
+    def __add__(self, other):
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self._make(self._value + rhs)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self._make(self._value - rhs)
+
+    def __rsub__(self, other):
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self._make(rhs - self._value)
+
+    def __mul__(self, other):
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self._make(self._value * rhs)
+
+    __rmul__ = __mul__
+
+    def __floordiv__(self, other):
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        if rhs == 0:
+            raise ZeroDivisionError("wide word division by zero")
+        return self._make(self._value // rhs)
+
+    def __mod__(self, other):
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        if rhs == 0:
+            raise ZeroDivisionError("wide word modulo by zero")
+        return self._make(self._value % rhs)
+
+    # -- bitwise ----------------------------------------------------------
+
+    def __and__(self, other):
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self._make(self._value & rhs)
+
+    __rand__ = __and__
+
+    def __or__(self, other):
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self._make(self._value | rhs)
+
+    __ror__ = __or__
+
+    def __xor__(self, other):
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self._make(self._value ^ rhs)
+
+    __rxor__ = __xor__
+
+    def __invert__(self):
+        return self._make(~self._value)
+
+    def __lshift__(self, amount):
+        if not isinstance(amount, int) or amount < 0:
+            raise WidthError("shift amount must be a non-negative int")
+        return self._make(self._value << amount)
+
+    def __rshift__(self, amount):
+        if not isinstance(amount, int) or amount < 0:
+            raise WidthError("shift amount must be a non-negative int")
+        return self._make(self._value >> amount)
+
+    # -- comparisons ------------------------------------------------------
+
+    def __eq__(self, other):
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self._value == (rhs & self.mask if isinstance(other, int)
+                               else rhs)
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        return NotImplemented if result is NotImplemented else not result
+
+    def __lt__(self, other):
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self._value < rhs
+
+    def __le__(self, other):
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self._value <= rhs
+
+    def __gt__(self, other):
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self._value > rhs
+
+    def __ge__(self, other):
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self._value >= rhs
+
+    def __hash__(self):
+        return hash((self._value, self._width))
+
+    # -- slicing: word[msb:lsb] extracts a bit field ----------------------
+
+    def __getitem__(self, key):
+        if isinstance(key, int):
+            if not 0 <= key < self._width:
+                raise WidthError("bit %d out of range" % key)
+            return (self._value >> key) & 1
+        if isinstance(key, slice):
+            msb, lsb = key.start, key.stop
+            if msb is None or lsb is None or key.step is not None:
+                raise WidthError("slice must be word[msb:lsb]")
+            if not 0 <= lsb <= msb < self._width:
+                raise WidthError("slice [%s:%s] out of range" % (msb, lsb))
+            width = msb - lsb + 1
+            return WideWord((self._value >> lsb), width)
+        raise TypeError("index must be int or slice")
+
+    def replace(self, msb, lsb, value):
+        """Return a copy with bits ``[msb:lsb]`` replaced by *value*."""
+        if not 0 <= lsb <= msb < self._width:
+            raise WidthError("field [%d:%d] out of range" % (msb, lsb))
+        width = msb - lsb + 1
+        field_mask = ((1 << width) - 1) << lsb
+        if isinstance(value, WideWord):
+            value = value.value
+        new = (self._value & ~field_mask) | ((value << lsb) & field_mask)
+        return self._make(new)
+
+    def concat(self, other):
+        """Return ``{self, other}`` — self in the high bits."""
+        if not isinstance(other, WideWord):
+            raise WidthError("can only concatenate WideWord")
+        return WideWord((self._value << other.width) | other.value,
+                        self._width + other.width)
+
+    def __int__(self):
+        return self._value
+
+    def __index__(self):
+        return self._value
+
+    def __bool__(self):
+        return bool(self._value)
+
+    def __repr__(self):
+        return "%s(0x%x, width=%d)" % (
+            type(self).__name__, self._value, self._width)
+
+
+def make_width(width, name=None):
+    """Create a fixed-width subclass of :class:`WideWord`."""
+
+    class _Fixed(WideWord):
+        __slots__ = ()
+
+        def __init__(self, value=0):
+            super().__init__(value, width)
+
+    _Fixed.__name__ = name or ("U%d" % width)
+    _Fixed.__qualname__ = _Fixed.__name__
+    return _Fixed
+
+
+U128 = make_width(128)
+U256 = make_width(256)
+U512 = make_width(512)

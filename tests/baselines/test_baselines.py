@@ -1,0 +1,56 @@
+"""Table 3 baselines: reference switch and P4FPGA pipeline."""
+
+import pytest
+
+from repro.baselines import P4FpgaSwitch, ReferenceSwitch
+from repro.baselines.p4fpga import pipeline_latency_cycles
+from repro.rtl import estimate_resources
+
+
+class TestReferenceSwitch:
+    @pytest.fixture(scope="class")
+    def switch(self):
+        return ReferenceSwitch()
+
+    def test_fixed_six_cycle_latency(self, switch):
+        _, cycles = switch.decide(0xA1, 0xB2, 0)
+        assert cycles == 6
+
+    def test_miss_broadcasts(self, switch):
+        ports, _ = switch.decide(0xDEAD, 0xBEEF, 2)
+        assert ports == 0b1011
+
+    def test_learning_works(self):
+        switch = ReferenceSwitch()
+        switch.decide(0x1, 0xAB, 3)            # learns AB -> port 3
+        ports, _ = switch.decide(0xAB, 0xCD, 0)
+        assert ports == 0b1000
+
+    def test_duplicate_learn_does_not_duplicate(self):
+        switch = ReferenceSwitch()
+        for _ in range(3):
+            switch.decide(0x1, 0xAB, 3)
+        assert switch.sim.peek("cam.free_ptr") == 1
+
+
+class TestP4Fpga:
+    @pytest.fixture(scope="class")
+    def switch(self):
+        return P4FpgaSwitch()
+
+    def test_architectural_latency(self, switch):
+        _, cycles = switch.decide(0xA1, 0xB2, 0)
+        assert cycles == pipeline_latency_cycles()
+        assert 70 <= cycles <= 100         # paper: 85
+
+    def test_functionally_a_switch(self, switch):
+        ports, _ = switch.decide(0x999, 0x111, 2)
+        assert ports == 0b1011             # miss -> broadcast
+        ports, _ = switch.decide(0x111, 0x222, 0)
+        assert ports == 0b0100             # learned port 2
+
+    def test_resources_dwarf_reference(self):
+        p4 = estimate_resources(P4FpgaSwitch().module)
+        ref = estimate_resources(ReferenceSwitch().module)
+        assert p4.logic > 2.5 * ref.logic
+        assert p4.ffs > 10 * ref.ffs       # per-stage PHV registers

@@ -1,0 +1,119 @@
+"""The Fig. 9 LRU cache and the Fig. 6 NetFPGA utility functions."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import NetFPGA
+from repro.core.dataplane import NetFPGAData
+from repro.core.lru import LRU
+from repro.net.packet import Frame
+
+
+class TestLru:
+    def test_miss_then_cache_then_hit(self):
+        lru = LRU(depth=4)
+        assert not lru.lookup(1).matched
+        lru.cache(1, 100)
+        result = lru.lookup(1)
+        assert result.matched
+        assert result.result == 100
+
+    def test_eviction_is_least_recently_used(self):
+        lru = LRU(depth=2)
+        lru.cache(1, 10)
+        lru.cache(2, 20)
+        lru.lookup(1)               # refresh key 1
+        lru.cache(3, 30)            # evicts key 2
+        assert lru.lookup(1).matched
+        assert not lru.lookup(2).matched
+        assert lru.lookup(3).matched
+
+    def test_update_existing_key(self):
+        lru = LRU(depth=2)
+        lru.cache(1, 10)
+        lru.cache(1, 11)
+        assert lru.lookup(1).result == 11
+
+    def test_invalidate(self):
+        lru = LRU(depth=2)
+        lru.cache(1, 10)
+        assert lru.invalidate(1)
+        assert not lru.lookup(1).matched
+        assert not lru.invalidate(1)
+
+    def test_occupancy_bounded(self):
+        lru = LRU(depth=3)
+        for key in range(10):
+            lru.cache(key, key)
+        assert lru.occupancy <= 3
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(["get", "put"]),
+                              st.integers(0, 7)), max_size=40))
+    def test_property_matches_reference_dict(self, ops):
+        """The CAM+NaughtyQ construction matches an ordered-dict LRU."""
+        from collections import OrderedDict
+        lru = LRU(depth=4)
+        reference = OrderedDict()
+        for op, key in ops:
+            if op == "put":
+                lru.cache(key, key * 3)
+                if key in reference:
+                    reference.pop(key)
+                reference[key] = key * 3
+                if len(reference) > 4:
+                    reference.popitem(last=False)
+            else:
+                result = lru.lookup(key)
+                assert result.matched == (key in reference)
+                if key in reference:
+                    assert result.result == reference[key]
+                    reference.move_to_end(key)
+
+
+class TestNetfpgaApi:
+    def make_dp(self, src_port=2):
+        return NetFPGAData(Frame(b"\x00" * 60, src_port=src_port))
+
+    def test_get_set_frame(self):
+        dp = self.make_dp()
+        frame = NetFPGA.get_frame(dp)
+        frame[0] = 0xFF
+        NetFPGA.set_frame(frame, dp)
+        assert dp.tdata[0] == 0xFF
+
+    def test_read_input_port(self):
+        assert NetFPGA.read_input_port(self.make_dp(src_port=3)) == 3
+
+    def test_set_output_port_one_hot(self):
+        dp = self.make_dp()
+        NetFPGA.set_output_port(dp, 2)
+        assert dp.dst_ports == 0b0100
+
+    def test_broadcast_excludes_source(self):
+        dp = self.make_dp(src_port=1)
+        NetFPGA.broadcast(dp)
+        assert dp.dst_ports == 0b1101
+
+    def test_broadcast_including_source(self):
+        dp = self.make_dp(src_port=1)
+        NetFPGA.broadcast(dp, exclude_source=False)
+        assert dp.dst_ports == 0b1111
+
+    def test_drop(self):
+        dp = self.make_dp()
+        NetFPGA.set_output_port(dp, 1)
+        NetFPGA.drop(dp)
+        assert dp.to_frame().dropped
+
+    def test_send_back(self):
+        dp = self.make_dp(src_port=3)
+        NetFPGA.send_back(dp)
+        assert dp.dst_ports == 0b1000
+
+    def test_tdata_ethertype_helpers(self):
+        from repro.core.protocols.ethernet import build_ethernet, \
+            EtherTypes
+        dp = NetFPGAData(Frame(build_ethernet(1, 2, EtherTypes.IPV4)))
+        assert dp.tdata.is_ipv4()
+        assert not dp.tdata.is_arp()
+        assert dp.tdata.ethertype_is(EtherTypes.IPV4)

@@ -1,0 +1,197 @@
+"""Protocol wrappers share one buffer and round-trip correctly."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.protocols import (
+    ARPWrapper, EthernetWrapper, EtherTypes, ICMPWrapper, IPv4Wrapper,
+    TCPFlags, TCPWrapper, UDPWrapper, build_arp_reply, build_arp_request,
+    build_ethernet, build_icmp_echo_request, build_tcp, build_udp,
+)
+from repro.core.protocols.ipv4 import IPProtocols
+from repro.errors import ParseError
+from repro.net.packet import ip_to_int, mac_to_int
+
+MAC_A = mac_to_int("02:00:00:00:00:aa")
+MAC_B = mac_to_int("02:00:00:00:00:01")
+IP_A = ip_to_int("10.0.0.2")
+IP_B = ip_to_int("10.0.0.1")
+
+
+class TestEthernet:
+    def test_fields(self):
+        buf = bytearray(build_ethernet(MAC_B, MAC_A, EtherTypes.IPV4))
+        eth = EthernetWrapper(buf)
+        assert eth.destination_mac == MAC_B
+        assert eth.source_mac == MAC_A
+        assert eth.ethertype == EtherTypes.IPV4
+
+    def test_shared_buffer_mutation(self):
+        """Wrappers mutate the same bytes (Fig. 3's design)."""
+        buf = bytearray(build_ethernet(MAC_B, MAC_A, EtherTypes.IPV4))
+        eth = EthernetWrapper(buf)
+        eth.source_mac = 0x1234
+        assert EthernetWrapper(buf).source_mac == 0x1234
+
+    def test_swap_macs(self):
+        buf = bytearray(build_ethernet(MAC_B, MAC_A, EtherTypes.IPV4))
+        EthernetWrapper(buf).swap_macs()
+        eth = EthernetWrapper(buf)
+        assert eth.destination_mac == MAC_A
+        assert eth.source_mac == MAC_B
+
+    def test_broadcast_and_multicast(self):
+        buf = bytearray(build_ethernet(0xFFFFFFFFFFFF, MAC_A, 0))
+        assert EthernetWrapper(buf).is_broadcast
+        buf = bytearray(build_ethernet(0x0100_0000_0001, MAC_A, 0))
+        assert EthernetWrapper(buf).is_multicast
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(ParseError):
+            EthernetWrapper(bytearray(10))
+
+
+class TestArp:
+    def test_request_roundtrip(self):
+        buf = bytearray(build_arp_request(MAC_A, IP_A, IP_B))
+        arp = ARPWrapper(buf)
+        assert arp.is_request
+        assert arp.sender_mac == MAC_A
+        assert arp.sender_ip == IP_A
+        assert arp.target_ip == IP_B
+        assert EthernetWrapper(buf).is_broadcast
+
+    def test_reply_roundtrip(self):
+        buf = bytearray(build_arp_reply(MAC_B, IP_B, MAC_A, IP_A))
+        arp = ARPWrapper(buf)
+        assert arp.is_reply
+        assert arp.target_mac == MAC_A
+        assert not EthernetWrapper(buf).is_broadcast
+
+
+class TestIPv4:
+    def make(self, payload=b"\x00" * 8, proto=IPProtocols.UDP):
+        from repro.core.protocols.ipv4 import build_ipv4_frame
+        return bytearray(build_ipv4_frame(MAC_B, MAC_A, IP_A, IP_B,
+                                          proto, payload))
+
+    def test_fields(self):
+        ip = IPv4Wrapper(self.make())
+        assert ip.version == 4
+        assert ip.ihl == 5
+        assert ip.source_ip_address == IP_A
+        assert ip.destination_ip_address == IP_B
+        assert ip.protocol == IPProtocols.UDP
+
+    def test_checksum_valid_on_build(self):
+        assert IPv4Wrapper(self.make()).checksum_ok()
+
+    def test_update_checksum_after_mutation(self):
+        ip = IPv4Wrapper(self.make())
+        ip.ttl = 63
+        assert not ip.checksum_ok()
+        ip.update_checksum()
+        assert ip.checksum_ok()
+
+    def test_total_length(self):
+        ip = IPv4Wrapper(self.make(payload=b"x" * 11))
+        assert ip.total_length == 20 + 11
+
+    def test_swap_ips(self):
+        ip = IPv4Wrapper(self.make())
+        ip.swap_ips()
+        assert ip.source_ip_address == IP_B
+        assert ip.destination_ip_address == IP_A
+
+    def test_fig4_accessors_write(self):
+        """The exact Fig. 4 accessors: typed get/set over the buffer."""
+        buf = self.make()
+        ip = IPv4Wrapper(buf)
+        ip.destination_ip_address = 0x01020304
+        assert buf[30:34] == b"\x01\x02\x03\x04"
+
+
+class TestICMP:
+    def test_echo_request_valid(self):
+        buf = bytearray(build_icmp_echo_request(MAC_B, MAC_A, IP_A, IP_B,
+                                                identifier=7, sequence=9))
+        icmp = ICMPWrapper(buf)
+        assert icmp.is_echo_request
+        assert icmp.identifier == 7
+        assert icmp.sequence == 9
+        assert icmp.checksum_ok()
+
+    def test_reply_checksum_update(self):
+        buf = bytearray(build_icmp_echo_request(MAC_B, MAC_A, IP_A, IP_B))
+        icmp = ICMPWrapper(buf)
+        icmp.icmp_type = 0
+        icmp.update_checksum()
+        assert icmp.checksum_ok()
+        assert icmp.is_echo_reply
+
+
+class TestUDP:
+    def test_roundtrip(self):
+        buf = bytearray(build_udp(MAC_B, MAC_A, IP_A, IP_B, 4000, 53,
+                                  b"payload"))
+        udp = UDPWrapper(buf)
+        assert udp.source_port == 4000
+        assert udp.destination_port == 53
+        assert udp.payload() == b"payload"
+        assert udp.checksum_ok()
+
+    def test_set_payload_adjusts_length(self):
+        buf = bytearray(build_udp(MAC_B, MAC_A, IP_A, IP_B, 1, 2, b"abc"))
+        udp = UDPWrapper(buf)
+        udp.set_payload(b"longer-payload")
+        assert udp.payload() == b"longer-payload"
+        assert udp.length == 8 + 14
+
+    def test_zero_checksum_means_disabled(self):
+        buf = bytearray(build_udp(MAC_B, MAC_A, IP_A, IP_B, 1, 2, b"x",
+                                  with_checksum=False))
+        assert UDPWrapper(buf).checksum_ok()
+
+    def test_swap_ports(self):
+        buf = bytearray(build_udp(MAC_B, MAC_A, IP_A, IP_B, 10, 20, b""))
+        udp = UDPWrapper(buf)
+        udp.swap_ports()
+        assert (udp.source_port, udp.destination_port) == (20, 10)
+
+
+class TestTCP:
+    def test_syn_fields(self):
+        buf = bytearray(build_tcp(MAC_B, MAC_A, IP_A, IP_B, 1234, 80,
+                                  TCPFlags.SYN, seq=42))
+        tcp = TCPWrapper(buf)
+        assert tcp.is_syn
+        assert not tcp.is_syn_ack
+        assert tcp.sequence_number == 42
+        assert tcp.checksum_ok()
+
+    def test_synack_detection(self):
+        buf = bytearray(build_tcp(MAC_B, MAC_A, IP_A, IP_B, 80, 1234,
+                                  TCPFlags.SYN | TCPFlags.ACK, ack=43))
+        tcp = TCPWrapper(buf)
+        assert tcp.is_syn_ack
+        assert tcp.ack_number == 43
+
+    def test_checksum_update(self):
+        buf = bytearray(build_tcp(MAC_B, MAC_A, IP_A, IP_B, 1, 2,
+                                  TCPFlags.SYN))
+        tcp = TCPWrapper(buf)
+        tcp.flags = TCPFlags.RST
+        tcp.update_checksum()
+        assert tcp.checksum_ok()
+
+
+@given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF),
+       st.binary(max_size=32))
+def test_property_udp_builder_roundtrip(sport, dport, payload):
+    buf = bytearray(build_udp(MAC_B, MAC_A, IP_A, IP_B, sport, dport,
+                              payload))
+    udp = UDPWrapper(buf)
+    assert udp.source_port == sport
+    assert udp.destination_port == dport
+    assert udp.payload() == payload
+    assert udp.checksum_ok()

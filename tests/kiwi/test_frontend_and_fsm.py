@@ -1,0 +1,132 @@
+"""Frontend parsing, barrier analysis, and FSM sealing."""
+
+import ast
+
+import pytest
+
+from repro.errors import CompileError, ScheduleError
+from repro.kiwi.frontend import (
+    MemSpec, ScalarSpec, body_contains_barrier, parse_function,
+    parse_spec, stmt_contains_barrier,
+)
+from repro.kiwi.fsm import Branch, Fsm, Goto
+
+
+def annotated(frame: "mem[2048]x8", length: "u16") -> ("u4", "u1"):
+    return 0, 0
+
+
+class TestSpecs:
+    def test_scalar_spec(self):
+        spec = parse_spec("u48")
+        assert isinstance(spec, ScalarSpec)
+        assert spec.width == 48
+
+    def test_mem_spec(self):
+        spec = parse_spec("mem[2048]x8")
+        assert isinstance(spec, MemSpec)
+        assert (spec.depth, spec.width) == (2048, 8)
+        assert spec.addr_bits == 11
+
+    def test_bad_specs(self):
+        for bad in ("u0", "i8", "mem[]x8", "mem[8]", "float"):
+            with pytest.raises(CompileError):
+                parse_spec(bad)
+
+    def test_parse_function_interface(self):
+        spec = parse_function(annotated)
+        assert [name for name, _ in spec.params] == ["frame", "length"]
+        assert len(spec.memory_params) == 1
+        assert len(spec.scalar_params) == 1
+        assert [r.width for r in spec.results] == [4, 1]
+
+    def test_defaults_rejected(self):
+        def bad(a: "u8" = 3) -> "u8":
+            return a
+        with pytest.raises(CompileError):
+            parse_function(bad)
+
+
+class TestBarrierAnalysis:
+    def check(self, source):
+        stmt = ast.parse(source).body[0]
+        return stmt_contains_barrier(stmt)
+
+    def test_pause_is_barrier(self):
+        assert self.check("pause()")
+
+    def test_assignment_is_not(self):
+        assert not self.check("x = y + 1")
+
+    def test_while_is_barrier(self):
+        assert self.check("while x:\n    x = x - 1")
+
+    def test_return_is_barrier(self):
+        assert self.check("return 1")
+
+    def test_if_barrier_depends_on_body(self):
+        assert not self.check("if x:\n    y = 1\nelse:\n    y = 2")
+        assert self.check("if x:\n    pause()")
+        assert self.check("if x:\n    y = 1\nelse:\n    return 0")
+
+    def test_for_propagates(self):
+        assert not self.check("for i in range(3):\n    x = i")
+        assert self.check("for i in range(3):\n    pause()")
+
+    def test_body_helper(self):
+        body = ast.parse("x = 1\npause()").body
+        assert body_contains_barrier(body)
+
+
+class TestFsmSealing:
+    def test_empty_unpinned_state_elided(self):
+        fsm = Fsm()
+        a = fsm.new_state("a")
+        empty = fsm.new_state("join")
+        b = fsm.new_state("b")
+        a.updates["x"] = "expr"
+        b.updates["y"] = "expr"
+        fsm.idle.transition = Branch("__start__", a, fsm.idle)
+        a.transition = Goto(empty)
+        empty.transition = Goto(b)
+        b.transition = Goto(fsm.idle)
+        fsm.seal()
+        assert empty not in fsm.states
+        assert a.transition.target is b
+
+    def test_pinned_empty_state_kept(self):
+        fsm = Fsm()
+        a = fsm.new_state("a")
+        pinned = fsm.new_state("pause", pinned=True)
+        a.updates["x"] = "expr"
+        fsm.idle.transition = Branch("__start__", a, fsm.idle)
+        a.transition = Goto(pinned)
+        pinned.transition = Goto(fsm.idle)
+        fsm.seal()
+        assert pinned in fsm.states
+
+    def test_indices_assigned_idle_first(self):
+        fsm = Fsm()
+        a = fsm.new_state("a")
+        a.updates["x"] = "e"
+        fsm.idle.transition = Branch("__start__", a, fsm.idle)
+        a.transition = Goto(fsm.idle)
+        fsm.seal()
+        assert fsm.idle.index == 0
+        assert a.index == 1
+
+    def test_missing_transition_rejected(self):
+        fsm = Fsm()
+        a = fsm.new_state("a")
+        a.updates["x"] = "e"
+        fsm.idle.transition = Branch("__start__", a, fsm.idle)
+        with pytest.raises(ScheduleError):
+            fsm.seal()
+
+    def test_successors(self):
+        fsm = Fsm()
+        a = fsm.new_state("a")
+        fsm.idle.transition = Branch("__start__", a, fsm.idle)
+        a.transition = Goto(fsm.idle)
+        assert fsm.successors(fsm.idle) == [a, fsm.idle]
+        assert fsm.successors(a) == [fsm.idle]

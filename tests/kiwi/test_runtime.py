@@ -1,0 +1,89 @@
+"""Dual-semantics runtime: software vs hardware thread execution."""
+
+import pytest
+
+from repro.errors import TargetError
+from repro.kiwi.runtime import (
+    HardwareThread, KiwiScheduler, Pause, pause, run_software,
+)
+
+
+def worker(log, name, steps):
+    for step in range(steps):
+        log.append((name, step))
+        yield pause()
+    return name
+
+
+class TestPause:
+    def test_singleton(self):
+        assert pause() is pause()
+        assert isinstance(pause(), Pause)
+
+
+class TestSoftwareSemantics:
+    def test_runs_to_completion(self):
+        log = []
+        result = run_software(worker(log, "a", 3))
+        assert result == "a"
+        assert len(log) == 3
+
+    def test_none_generator(self):
+        assert run_software(None) is None
+
+
+class TestHardwareSemantics:
+    def test_thread_steps_once_per_clock(self):
+        log = []
+        thread = HardwareThread(worker(log, "t", 3))
+        thread.clock()
+        assert log == [("t", 0)]
+        thread.clock()
+        assert log == [("t", 0), ("t", 1)]
+
+    def test_thread_completion(self):
+        thread = HardwareThread(worker([], "t", 1))
+        thread.clock()
+        thread.clock()
+        assert thread.done
+        assert thread.result == "t"
+        assert thread.clock() is False   # stays done
+
+    def test_lockstep_interleaving(self):
+        """Parallel threads share one clock — parallel circuits."""
+        log = []
+        scheduler = KiwiScheduler()
+        scheduler.spawn(worker(log, "a", 2))
+        scheduler.spawn(worker(log, "b", 2))
+        scheduler.clock()
+        assert log == [("a", 0), ("b", 0)]
+        scheduler.clock()
+        assert log == [("a", 0), ("b", 0), ("a", 1), ("b", 1)]
+
+    def test_run_to_completion_counts_cycles(self):
+        scheduler = KiwiScheduler()
+        scheduler.spawn(worker([], "a", 5))
+        scheduler.spawn(worker([], "b", 2))
+        cycles = scheduler.run_to_completion()
+        assert cycles == 6       # longest thread + its StopIteration step
+
+    def test_tick_hooks_share_clock(self):
+        ticks = []
+        scheduler = KiwiScheduler()
+        scheduler.spawn(worker([], "a", 2))
+        scheduler.add_tick_hook(lambda: ticks.append(scheduler.cycle))
+        scheduler.run_to_completion()
+        assert ticks == [1, 2, 3]
+
+    def test_bad_hook_rejected(self):
+        with pytest.raises(TargetError):
+            KiwiScheduler().add_tick_hook("not callable")
+
+    def test_livelock_guard(self):
+        def forever():
+            while True:
+                yield pause()
+        scheduler = KiwiScheduler()
+        scheduler.spawn(forever())
+        with pytest.raises(TargetError):
+            scheduler.run_to_completion(max_cycles=100)

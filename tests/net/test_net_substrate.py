@@ -1,0 +1,160 @@
+"""Frames, addresses, interfaces, DAG capture, OSNT, workloads."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import HostModelError, ParseError, TargetError
+from repro.net.dag import LatencyCapture
+from repro.net.interfaces import VirtualInterface
+from repro.net.osnt import OsntTrafficGenerator, TraceReplayer
+from repro.net.packet import (
+    Frame, int_to_ip, int_to_mac, ip_to_int, mac_to_int,
+)
+from repro.net.workloads import (
+    dns_query_stream, memaslap_mix, ping_flood, tcp_syn_stream,
+)
+
+
+class TestAddresses:
+    def test_mac_roundtrip(self):
+        text = "02:aa:bb:cc:dd:ee"
+        assert int_to_mac(mac_to_int(text)) == text
+
+    def test_ip_roundtrip(self):
+        assert int_to_ip(ip_to_int("192.168.1.200")) == "192.168.1.200"
+
+    def test_bad_addresses_rejected(self):
+        for bad_mac in ("02:aa", "gg:00:00:00:00:00", "1:2:3:4:5"):
+            with pytest.raises(ParseError):
+                mac_to_int(bad_mac)
+        for bad_ip in ("10.0.0", "10.0.0.256", "a.b.c.d"):
+            with pytest.raises(ParseError):
+                ip_to_int(bad_ip)
+
+    @given(st.integers(0, (1 << 48) - 1))
+    def test_property_mac_roundtrip(self, value):
+        assert mac_to_int(int_to_mac(value)) == value
+
+    @given(st.integers(0, (1 << 32) - 1))
+    def test_property_ip_roundtrip(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+
+class TestFrame:
+    def test_pad_to_minimum(self):
+        frame = Frame(b"\x01" * 20).pad()
+        assert len(frame) == 60
+
+    def test_pad_leaves_long_frames(self):
+        frame = Frame(b"\x01" * 100).pad()
+        assert len(frame) == 100
+
+    def test_output_port_helpers(self):
+        frame = Frame(b"", src_port=1)
+        frame.broadcast()
+        assert frame.output_ports() == [0, 2, 3]
+        frame.set_output(2)
+        assert frame.output_ports() == [2]
+        frame.drop()
+        assert frame.dropped
+
+    def test_copy_is_deep_for_data(self):
+        frame = Frame(b"\x00" * 4)
+        clone = frame.copy()
+        clone.data[0] = 0xFF
+        assert frame.data[0] == 0
+
+
+class TestInterfaces:
+    def test_veth_pair(self):
+        a = VirtualInterface("a")
+        b = VirtualInterface("b")
+        a.connect(b)
+        a.transmit(Frame(b"hi"))
+        assert len(b.drain_rx()) == 1
+
+    def test_unconnected_buffers_tx(self):
+        iface = VirtualInterface("x")
+        iface.transmit(Frame(b"hi"))
+        assert len(iface.drain_tx()) == 1
+
+
+class TestLatencyCapture:
+    def test_stats(self):
+        capture = LatencyCapture()
+        for value in range(1, 101):
+            capture.record(value * 1000.0)      # 1..100 us
+        assert capture.average_us() == pytest.approx(50.5)
+        assert capture.p99_us() == pytest.approx(99.01, rel=0.01)
+        assert capture.median_us() == pytest.approx(50.5)
+
+    def test_baseline_deduction(self):
+        capture = LatencyCapture()
+        capture.calibrate([200.0, 300.0, 250.0])
+        capture.record(1250.0)
+        assert capture.samples_ns[0] == pytest.approx(1000.0)
+
+    def test_tail_to_average(self):
+        capture = LatencyCapture()
+        capture.samples_ns = [100.0] * 99 + [300.0]
+        assert capture.tail_to_average() > 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(HostModelError):
+            LatencyCapture().average_us()
+
+
+class TestOsnt:
+    def test_rate_search_converges(self):
+        osnt = OsntTrafficGenerator(resolution_qps=10.0)
+        probe = osnt.probe_for_service_rate(123_456.0)
+        found = osnt.find_max_qps(probe)
+        assert found == pytest.approx(123_456.0, abs=20.0)
+
+    def test_lossy_device_rejected(self):
+        osnt = OsntTrafficGenerator()
+        with pytest.raises(TargetError):
+            osnt.find_max_qps(lambda rate: 1.0)
+
+    def test_trace_replay_timestamps(self):
+        frames = [Frame(b"\x00" * 60) for _ in range(5)]
+        replayer = TraceReplayer(frames, rate_pps=1_000_000)
+        seen = []
+        replayer.replay_into(lambda f: seen.append(f.timestamp_ns))
+        assert seen == [0, 1000, 2000, 3000, 4000]
+
+
+class TestWorkloads:
+    def test_ping_flood_count_and_shape(self):
+        frames = list(ping_flood(1, 2, count=10))
+        assert len(frames) == 10
+        assert all(len(f) >= 60 for f in frames)
+
+    def test_tcp_syn_stream_random_ports(self):
+        from repro.core.protocols.tcp import TCPWrapper
+        frames = list(tcp_syn_stream(1, 2, count=20))
+        ports = {TCPWrapper(f.data).source_port for f in frames}
+        assert len(ports) > 5
+
+    def test_dns_stream_uses_table_names(self):
+        from repro.core.protocols.dns import DNSWrapper
+        from repro.core.protocols.udp import UDPWrapper
+        names = ["a.example", "b.example"]
+        frames = list(dns_query_stream(1, 2, names, count=20))
+        seen = {DNSWrapper(UDPWrapper(f.data).payload()).questions[0].name
+                for f in frames}
+        assert seen <= set(names)
+
+    def test_memaslap_mix_ratio(self):
+        frames = list(memaslap_mix(1, 2, count=400, get_ratio=0.9))
+        gets = sum(1 for f in frames if b"get " in bytes(f.data))
+        assert 320 < gets < 400          # ~90%
+
+    def test_memaslap_binary_protocol(self):
+        frames = list(memaslap_mix(1, 2, count=10, protocol="binary"))
+        assert all(b"\x80" in bytes(f.data) for f in frames)
+
+    def test_workloads_deterministic_by_seed(self):
+        a = [bytes(f.data) for f in memaslap_mix(1, 2, count=5, seed=3)]
+        b = [bytes(f.data) for f in memaslap_mix(1, 2, count=5, seed=3)]
+        assert a == b

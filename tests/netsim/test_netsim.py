@@ -1,0 +1,164 @@
+"""The Mininet-style simulator, exercised with real services (§4.4)."""
+
+import pytest
+
+from repro.core.protocols.icmp import ICMPWrapper, build_icmp_echo_request
+from repro.core.protocols.ipv4 import IPv4Wrapper
+from repro.core.protocols.udp import UDPWrapper, build_udp
+from repro.errors import NetSimError
+from repro.net.packet import Frame, ip_to_int, mac_to_int
+from repro.netsim import EventLoop, Network
+from repro.services import LearningSwitch, NatService
+
+IP_A = ip_to_int("10.0.0.2")
+IP_B = ip_to_int("10.0.0.3")
+MAC_A = mac_to_int("02:00:00:00:00:aa")
+MAC_B = mac_to_int("02:00:00:00:00:bb")
+
+
+class TestEventLoop:
+    def test_events_run_in_time_order(self):
+        loop = EventLoop()
+        log = []
+        loop.schedule(50, lambda: log.append("late"))
+        loop.schedule(10, lambda: log.append("early"))
+        loop.run()
+        assert log == ["early", "late"]
+
+    def test_now_advances(self):
+        loop = EventLoop()
+        loop.schedule(100, lambda: None)
+        loop.run()
+        assert loop.now_ns == 100
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(NetSimError):
+            EventLoop().schedule(-1, lambda: None)
+
+    def test_run_until_caps_time(self):
+        loop = EventLoop()
+        log = []
+        loop.schedule(10, lambda: log.append(1))
+        loop.schedule(1000, lambda: log.append(2))
+        loop.run(until_ns=500)
+        assert log == [1]
+        assert loop.pending == 1
+
+
+class TestSwitchedNetwork:
+    def build(self):
+        net = Network()
+        h1 = net.add_host("h1")
+        h2 = net.add_host("h2")
+        net.add_service("sw", LearningSwitch(), num_ports=4)
+        net.connect("h1", 0, "sw", 0, latency_ns=500)
+        net.connect("h2", 0, "sw", 1, latency_ns=500)
+        return net, h1, h2
+
+    def test_frame_crosses_switch(self):
+        net, h1, h2 = self.build()
+        raw = build_icmp_echo_request(MAC_B, MAC_A, IP_A, IP_B)
+        h1.send(Frame(raw).pad())
+        net.run()
+        assert len(h2.received) == 1
+
+    def test_learning_prevents_reflood(self):
+        net, h1, h2 = self.build()
+        raw_ab = build_icmp_echo_request(MAC_B, MAC_A, IP_A, IP_B)
+        raw_ba = build_icmp_echo_request(MAC_A, MAC_B, IP_B, IP_A)
+        h1.send(Frame(raw_ab).pad())
+        net.run()
+        h2.send(Frame(raw_ba).pad())
+        net.run()
+        # After learning, the reply goes only to h1.
+        assert len(h1.received) == 1
+
+    def test_link_latency_accounted(self):
+        net, h1, h2 = self.build()
+        h1.send(Frame(build_icmp_echo_request(MAC_B, MAC_A, IP_A,
+                                              IP_B)).pad())
+        net.run()
+        assert net.now_ns >= 1000       # two 500 ns hops
+
+    def test_responder_hosts(self):
+        net = Network()
+        h1 = net.add_host("h1")
+
+        def responder(frame):
+            reply = frame.copy()
+            ICMPWrapper(reply.data).icmp_type = 0
+            return reply
+
+        net.add_host("h2", responder=responder)
+        net.add_service("sw", LearningSwitch(), num_ports=2)
+        net.connect("h1", 0, "sw", 0)
+        net.connect("h2", 0, "sw", 1)
+        h1.send(Frame(build_icmp_echo_request(MAC_B, MAC_A, IP_A,
+                                              IP_B)).pad())
+        net.run()
+        assert len(h1.received) == 1
+        assert ICMPWrapper(h1.received[0].data).is_echo_reply
+
+
+class TestNatInSimulator:
+    """The paper's NAT multi-target test case, on the netsim target."""
+
+    PUBLIC = ip_to_int("198.51.100.1")
+    REMOTE = ip_to_int("203.0.113.9")
+
+    def test_full_nat_round_trip(self):
+        net = Network()
+        lan = net.add_host("lan")
+
+        def server(frame):
+            reply = frame.copy()
+            ip = IPv4Wrapper(reply.data)
+            udp = UDPWrapper(reply.data)
+            ip.swap_ips()
+            udp.swap_ports()
+            ip.update_checksum()
+            udp.update_checksum(ip)
+            from repro.core.protocols.ethernet import EthernetWrapper
+            EthernetWrapper(reply.data).swap_macs()
+            return reply
+
+        net.add_host("wan", responder=server)
+        nat = NatService(public_ip=self.PUBLIC)
+        net.add_service("gw", nat, num_ports=2)
+        net.connect("lan", 0, "gw", 0)
+        net.connect("wan", 0, "gw", 1)
+
+        raw = build_udp(mac_to_int("02:00:00:00:00:05"), MAC_A,
+                        IP_A, self.REMOTE, 3333, 53, b"query")
+        lan.send(Frame(raw).pad())
+        net.run()
+
+        assert len(lan.received) == 1
+        reply = lan.received[0]
+        assert IPv4Wrapper(reply.data).destination_ip_address == IP_A
+        assert UDPWrapper(reply.data).destination_port == 3333
+        assert nat.translated_out == 1
+        assert nat.translated_in == 1
+
+
+class TestTopologyErrors:
+    def test_duplicate_name_rejected(self):
+        net = Network()
+        net.add_host("h")
+        with pytest.raises(NetSimError):
+            net.add_host("h")
+
+    def test_unknown_node_rejected(self):
+        net = Network()
+        net.add_host("a")
+        with pytest.raises(NetSimError):
+            net.connect("a", 0, "ghost", 0)
+
+    def test_port_reuse_rejected(self):
+        net = Network()
+        net.add_host("a")
+        net.add_host("b")
+        net.add_host("c")
+        net.connect("a", 0, "b", 0)
+        with pytest.raises(NetSimError):
+            net.connect("a", 0, "c", 0)

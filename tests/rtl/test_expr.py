@@ -1,0 +1,91 @@
+"""Expression IR: widths, operators, helpers."""
+
+import pytest
+
+from repro.errors import WidthError
+from repro.rtl import Module, Simulator, const, eq_any, mux, reduce_and, \
+    reduce_or
+from repro.rtl.expr import BinOp, Concat, Const, Slice
+
+
+def evaluate(expr_builder, inputs, width=8):
+    """Build a tiny module around an expression and evaluate it."""
+    m = Module("t")
+    signals = {name: m.input(name, w) for name, (w, _) in inputs.items()}
+    expr = expr_builder(signals)
+    out = m.output("out", expr.width)
+    m.comb(out, expr)
+    sim = Simulator(m)
+    for name, (_, value) in inputs.items():
+        sim.poke(name, value)
+    return sim.peek("out")
+
+
+class TestWidths:
+    def test_const_masks(self):
+        assert Const(0x1FF, 8).value == 0xFF
+
+    def test_binop_width_mismatch_rejected(self):
+        with pytest.raises(WidthError):
+            BinOp("+", Const(1, 8), Const(1, 16))
+
+    def test_compare_is_one_bit(self):
+        expr = Const(1, 8).eq(Const(1, 8))
+        assert expr.width == 1
+
+    def test_slice_bounds_checked(self):
+        with pytest.raises(WidthError):
+            Slice(Const(0, 8), 8, 0)
+
+    def test_concat_width_sums(self):
+        assert Concat([Const(0, 3), Const(0, 5)]).width == 8
+
+    def test_mux_arm_mismatch_rejected(self):
+        with pytest.raises(WidthError):
+            mux(const(1, 1), const(0, 4), const(0, 8))
+
+
+class TestEvaluation:
+    def test_arithmetic(self):
+        assert evaluate(lambda s: s["a"] + s["b"],
+                        {"a": (8, 200), "b": (8, 100)}) == 44  # wraps
+
+    def test_subtract_wraps(self):
+        assert evaluate(lambda s: s["a"] - s["b"],
+                        {"a": (8, 1), "b": (8, 2)}) == 255
+
+    def test_comparisons(self):
+        assert evaluate(lambda s: s["a"].lt(s["b"]),
+                        {"a": (8, 3), "b": (8, 9)}) == 1
+        assert evaluate(lambda s: s["a"].ge(s["b"]),
+                        {"a": (8, 3), "b": (8, 9)}) == 0
+
+    def test_shift_by_constant(self):
+        assert evaluate(lambda s: s["a"] << 4,
+                        {"a": (8, 0x0F)}) == 0xF0
+
+    def test_reduce_or(self):
+        assert evaluate(lambda s: reduce_or(s["a"]),
+                        {"a": (8, 0)}) == 0
+        assert evaluate(lambda s: reduce_or(s["a"]),
+                        {"a": (8, 0x10)}) == 1
+
+    def test_reduce_and(self):
+        assert evaluate(lambda s: reduce_and(s["a"]),
+                        {"a": (4, 0xF)}) == 1
+        assert evaluate(lambda s: reduce_and(s["a"]),
+                        {"a": (4, 0xE)}) == 0
+
+    def test_eq_any(self):
+        build = lambda s: eq_any(s["a"], [1, 6, 17])
+        assert evaluate(build, {"a": (8, 6)}) == 1
+        assert evaluate(build, {"a": (8, 7)}) == 0
+
+    def test_eq_any_empty_is_false(self):
+        assert evaluate(lambda s: eq_any(s["a"], []), {"a": (8, 0)}) == 0
+
+    def test_bit_indexing(self):
+        assert evaluate(lambda s: s["a"][7], {"a": (8, 0x80)}) == 1
+
+    def test_invert(self):
+        assert evaluate(lambda s: ~s["a"], {"a": (8, 0x0F)}) == 0xF0

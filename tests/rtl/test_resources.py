@@ -1,0 +1,102 @@
+"""Resource estimation: monotonic, DAG-aware, IP-priced."""
+
+from repro.ip.cam import BinaryCAM, RegisterCAM
+from repro.rtl import Module, Simulator, const, estimate_resources, mux
+
+
+def adder_module(width):
+    m = Module("adder%d" % width)
+    a = m.input("a", width)
+    b = m.input("b", width)
+    out = m.output("out", width)
+    m.comb(out, a + b)
+    return m
+
+
+class TestEstimates:
+    def test_wider_adder_costs_more(self):
+        small = estimate_resources(adder_module(8))
+        big = estimate_resources(adder_module(64))
+        assert big.logic > small.logic
+
+    def test_registers_count_ffs(self):
+        m = Module("m")
+        r = m.reg("r", 48)
+        m.sync(r, r)
+        assert estimate_resources(m).ffs == 48
+
+    def test_shared_subexpression_counted_once(self):
+        m1 = Module("shared")
+        a = m1.input("a", 32)
+        shared = a * a
+        o1 = m1.output("o1", 32)
+        o2 = m1.output("o2", 32)
+        m1.comb(o1, shared + const(1, 32))
+        m1.comb(o2, shared + const(2, 32))
+
+        m2 = Module("duplicated")
+        a2 = m2.input("a", 32)
+        p1 = m2.output("o1", 32)
+        p2 = m2.output("o2", 32)
+        m2.comb(p1, (a2 * a2) + const(1, 32))
+        m2.comb(p2, (a2 * a2) + const(2, 32))
+
+        assert estimate_resources(m1).logic < estimate_resources(m2).logic
+
+    def test_small_memory_is_lutram(self):
+        m = Module("m")
+        m.memory("small", 8, 16)     # 128 bits
+        report = estimate_resources(m)
+        assert report.brams == 0
+        assert report.lutram_bits == 128
+
+    def test_large_memory_is_bram(self):
+        m = Module("m")
+        m.memory("big", 64, 4096)    # 256 kbit
+        report = estimate_resources(m)
+        assert report.brams >= 14
+
+    def test_memory_units_nonzero_for_brams(self):
+        m = Module("m")
+        m.memory("big", 64, 4096)
+        assert estimate_resources(m).memory > 0
+
+
+class TestIpPricing:
+    def test_ip_cam_cheaper_than_language_cam(self):
+        """The §4.1 trade-off: the IP block beats the language CAM."""
+        ip = estimate_resources(BinaryCAM(48, 8, 64).build_netlist())
+        lang = estimate_resources(RegisterCAM(48, 8, 64).build_netlist())
+        assert ip.logic < lang.logic
+
+    def test_ip_pricing_scales_with_depth(self):
+        small = estimate_resources(BinaryCAM(48, 8, 64).build_netlist())
+        big = estimate_resources(BinaryCAM(48, 8, 256).build_netlist())
+        assert big.logic > small.logic
+
+    def test_hierarchical_estimate_includes_children(self):
+        child = adder_module(16)
+        parent = Module("parent")
+        a = parent.input("a", 16)
+        b = parent.input("b", 16)
+        out = parent.output("out", 16)
+        parent.instantiate("add0", child, a=a, b=b, out=out)
+        parent_report = estimate_resources(parent)
+        child_report = estimate_resources(child)
+        assert parent_report.logic >= child_report.logic
+
+    def test_ip_child_priced_by_advertisement(self):
+        cam = BinaryCAM(48, 8, 256)
+        netlist = cam.build_netlist("the_cam")
+        parent = Module("p")
+        key = parent.input("key", 48)
+        match = parent.output("match", 1)
+        value = parent.output("value", 8)
+        parent.instantiate("cam0", netlist, search_key=key,
+                           write_en=const(0, 1), write_key=const(0, 48),
+                           write_value=const(0, 8), match=match,
+                           value_out=value)
+        report = estimate_resources(parent)
+        categories = [c for c in report.breakdown if
+                      c.startswith("ip_block:")]
+        assert categories, "IP block must be priced via its advertisement"

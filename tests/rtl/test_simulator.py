@@ -1,0 +1,192 @@
+"""Cycle-accurate simulator semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.rtl import Module, Simulator, cat, const, mux
+
+
+def make_counter(width=8):
+    m = Module("counter")
+    en = m.input("en", 1)
+    count = m.reg("count", width)
+    out = m.output("out", width)
+    m.comb(out, count)
+    m.sync(count, mux(en, count + const(1, width), count))
+    return m
+
+
+class TestRegisters:
+    def test_counter_counts(self):
+        sim = Simulator(make_counter())
+        sim.poke("en", 1)
+        sim.step(5)
+        assert sim.peek("out") == 5
+
+    def test_counter_holds_when_disabled(self):
+        sim = Simulator(make_counter())
+        sim.poke("en", 1)
+        sim.step(3)
+        sim.poke("en", 0)
+        sim.step(4)
+        assert sim.peek("out") == 3
+
+    def test_register_wraps_at_width(self):
+        sim = Simulator(make_counter(width=2))
+        sim.poke("en", 1)
+        sim.step(5)
+        assert sim.peek("out") == 1
+
+    def test_reg_init_value(self):
+        m = Module("m")
+        r = m.reg("r", 8, init=7)
+        out = m.output("o", 8)
+        m.comb(out, r)
+        m.sync(r, r)
+        assert Simulator(m).peek("o") == 7
+
+    def test_two_phase_commit_swap(self):
+        """Registers swap atomically — the defining two-phase behaviour."""
+        m = Module("swap")
+        a = m.reg("a", 8, init=1)
+        b = m.reg("b", 8, init=2)
+        m.sync(a, b)
+        m.sync(b, a)
+        sim = Simulator(m)
+        sim.step()
+        assert (sim.peek("a"), sim.peek("b")) == (2, 1)
+        sim.step()
+        assert (sim.peek("a"), sim.peek("b")) == (1, 2)
+
+
+class TestCombinational:
+    def test_chained_wires_topological(self):
+        m = Module("chain")
+        x = m.input("x", 8)
+        w1 = m.wire("w1", 8)
+        w2 = m.wire("w2", 8)
+        out = m.output("out", 8)
+        # Declare in reverse dependency order on purpose.
+        m.comb(out, w2 + const(1, 8))
+        m.comb(w2, w1 + const(1, 8))
+        m.comb(w1, x + const(1, 8))
+        sim = Simulator(m)
+        sim.poke("x", 10)
+        assert sim.peek("out") == 13
+
+    def test_combinational_loop_detected(self):
+        m = Module("loop")
+        a = m.wire("a", 1)
+        b = m.wire("b", 1)
+        m.comb(a, b)
+        m.comb(b, a)
+        with pytest.raises(SimulationError, match="combinational loop"):
+            Simulator(m)
+
+    def test_mux_and_slice_and_concat(self):
+        m = Module("ops")
+        sel = m.input("sel", 1)
+        x = m.input("x", 8)
+        out = m.output("out", 8)
+        m.comb(out, mux(sel, cat(x[3:0], x[7:4]), x))
+        sim = Simulator(m)
+        sim.poke("x", 0xAB)
+        sim.poke("sel", 0)
+        assert sim.peek("out") == 0xAB
+        sim.poke("sel", 1)
+        assert sim.peek("out") == 0xBA
+
+    def test_poke_non_input_rejected(self):
+        m = make_counter()
+        sim = Simulator(m)
+        with pytest.raises(SimulationError):
+            sim.poke("count", 3)
+
+
+class TestMemories:
+    def make_mem_module(self):
+        m = Module("memmod")
+        we = m.input("we", 1)
+        addr = m.input("addr", 4)
+        data = m.input("data", 8)
+        out = m.output("out", 8)
+        mem = m.memory("mem", 8, 16)
+        m.write_port(mem, addr, data, we)
+        m.comb(out, mem.read(addr))
+        return m
+
+    def test_write_then_read(self):
+        sim = Simulator(self.make_mem_module())
+        sim.poke("we", 1)
+        sim.poke("addr", 3)
+        sim.poke("data", 0x5A)
+        sim.step()
+        sim.poke("we", 0)
+        assert sim.peek("out") == 0x5A
+
+    def test_write_commits_at_edge_not_before(self):
+        sim = Simulator(self.make_mem_module())
+        sim.poke("we", 1)
+        sim.poke("addr", 3)
+        sim.poke("data", 0x5A)
+        # Async read sees the OLD value until the clock edge.
+        assert sim.peek("out") == 0
+
+    def test_memory_backdoor(self):
+        sim = Simulator(self.make_mem_module())
+        sim.poke_memory("mem", 7, 0x42)
+        assert sim.peek_memory("mem", 7) == 0x42
+        sim.poke("addr", 7)
+        assert sim.peek("out") == 0x42
+
+    def test_write_disabled_does_nothing(self):
+        sim = Simulator(self.make_mem_module())
+        sim.poke("we", 0)
+        sim.poke("addr", 1)
+        sim.poke("data", 9)
+        sim.step()
+        assert sim.peek_memory("mem", 1) == 0
+
+
+class TestHierarchy:
+    def test_instance_flattening(self):
+        child = make_counter()
+        parent = Module("parent")
+        en = parent.input("enable", 1)
+        out = parent.output("value", 8)
+        parent.instantiate("c0", child, en=en, out=out)
+        sim = Simulator(parent)
+        sim.poke("enable", 1)
+        sim.step(4)
+        assert sim.peek("value") == 4
+
+    def test_two_instances_independent(self):
+        parent = Module("parent")
+        en0 = parent.input("en0", 1)
+        en1 = parent.input("en1", 1)
+        o0 = parent.output("o0", 8)
+        o1 = parent.output("o1", 8)
+        parent.instantiate("c0", make_counter(), en=en0, out=o0)
+        parent.instantiate("c1", make_counter(), en=en1, out=o1)
+        sim = Simulator(parent)
+        sim.poke("en0", 1)
+        sim.poke("en1", 0)
+        sim.step(3)
+        assert sim.peek("o0") == 3
+        assert sim.peek("o1") == 0
+
+
+class TestRunUntil:
+    def test_run_until_counts_cycles(self):
+        m = make_counter()
+        sim = Simulator(m)
+        sim.poke("en", 1)
+        taken = sim.run_until(m.signals["out"], value=6)
+        assert taken == 6
+
+    def test_run_until_times_out(self):
+        m = make_counter()
+        sim = Simulator(m)
+        sim.poke("en", 0)
+        with pytest.raises(SimulationError):
+            sim.run_until(m.signals["out"], value=1, max_cycles=10)

@@ -1,0 +1,63 @@
+"""Verilog emission (workflow step B1)."""
+
+from repro.rtl import Module, const, emit_verilog, mux
+
+
+def make_design():
+    m = Module("demo")
+    en = m.input("en", 1)
+    count = m.reg("count", 8)
+    out = m.output("out", 8)
+    mem = m.memory("table", 8, 16)
+    m.comb(out, count + mem.read(count[3:0]))
+    m.sync(count, mux(en, count + const(1, 8), count))
+    m.write_port(mem, count[3:0], count, en)
+    return m
+
+
+class TestEmission:
+    def test_module_header(self):
+        text = emit_verilog(make_design())
+        assert text.startswith("module demo (")
+        assert "endmodule" in text
+
+    def test_ports_declared(self):
+        text = emit_verilog(make_design())
+        assert "input en;" in text
+        assert "output wire [7:0] out;" in text
+        assert "input clk;" in text
+
+    def test_register_and_always_block(self):
+        text = emit_verilog(make_design())
+        assert "reg [7:0] count;" in text
+        assert "always @(posedge clk) begin" in text
+        assert "count <=" in text
+
+    def test_memory_declared_and_written(self):
+        text = emit_verilog(make_design())
+        assert "[0:15]" in text
+        assert "if (en)" in text
+
+    def test_continuous_assign(self):
+        text = emit_verilog(make_design())
+        assert "assign out =" in text
+
+    def test_hierarchy_flattened_with_prefixes(self):
+        child = Module("leaf")
+        x = child.input("x", 4)
+        y = child.output("y", 4)
+        child.comb(y, ~x)
+        parent = Module("top")
+        a = parent.input("a", 4)
+        b = parent.output("b", 4)
+        parent.instantiate("u0", child, x=a, y=b)
+        text = emit_verilog(parent)
+        assert "u0__x" in text
+        assert "module top (" in text
+
+    def test_compiled_kernel_emits(self):
+        from repro.kiwi import compile_function
+        from repro.services.icmp_echo import icmp_echo_kernel
+        text = compile_function(icmp_echo_kernel).verilog()
+        assert "module icmp_echo_kernel (" in text
+        assert "fsm_state" in text

@@ -1,0 +1,148 @@
+"""Heterogeneous targets: pipeline, FPGA timing, CPU, multicore."""
+
+import pytest
+
+from repro.core.protocols.icmp import ICMPWrapper, build_icmp_echo_request
+from repro.net.packet import Frame, ip_to_int, mac_to_int
+from repro.services import IcmpEchoService, LearningSwitch
+from repro.targets import CpuTarget, FpgaTarget, NetfpgaPipeline
+from repro.targets.fpga import FpgaTimingModel, line_rate_pps
+
+IP_SVC = ip_to_int("10.0.0.1")
+IP_CLI = ip_to_int("10.0.0.2")
+MAC_SVC = mac_to_int("02:00:00:00:00:01")
+MAC_CLI = mac_to_int("02:00:00:00:00:aa")
+
+
+def echo_frame(src_port=1):
+    return Frame(build_icmp_echo_request(MAC_SVC, MAC_CLI, IP_CLI,
+                                         IP_SVC), src_port=src_port).pad()
+
+
+class TestPipeline:
+    def test_frame_flows_through(self):
+        pipeline = NetfpgaPipeline(IcmpEchoService(my_ip=IP_SVC))
+        emitted, cycles = pipeline.process_frame(echo_frame(src_port=2))
+        assert len(emitted) == 1
+        port, frame = emitted[0]
+        assert port == 2
+        assert ICMPWrapper(frame.data).is_echo_reply
+        assert cycles >= 4
+
+    def test_broadcast_fans_out(self):
+        pipeline = NetfpgaPipeline(LearningSwitch())
+        emitted, _ = pipeline.process_frame(echo_frame(src_port=0))
+        assert sorted(port for port, _ in emitted) == [1, 2, 3]
+
+    def test_arbiter_round_robin(self):
+        pipeline = NetfpgaPipeline(LearningSwitch())
+        for port in (3, 1, 2):
+            pipeline.receive(echo_frame(src_port=port))
+        order = [pipeline.arbitrate().src_port for _ in range(3)]
+        assert order == [1, 2, 3]        # round-robin from port 0
+
+    def test_ingress_drop_when_queue_full(self):
+        pipeline = NetfpgaPipeline(LearningSwitch())
+        for _ in range(100):
+            pipeline.receive(echo_frame(src_port=0))
+        assert pipeline.frames_dropped_ingress > 0
+
+    def test_stats(self):
+        pipeline = NetfpgaPipeline(IcmpEchoService(my_ip=IP_SVC))
+        pipeline.process_frame(echo_frame())
+        assert pipeline.frames_in == 1
+        assert pipeline.frames_out == 1
+        assert pipeline.core_busy_cycles > 0
+
+
+class TestTimingModel:
+    def test_latency_in_microsecond_range(self):
+        model = FpgaTimingModel()
+        latency = model.latency_ns(60, core_cycles=8, extra_cycles=30)
+        assert 800 < latency < 1500
+
+    def test_jitter_bounded_to_arbiter_phase(self):
+        model = FpgaTimingModel(seed=9)
+        samples = [model.latency_ns(60, 8) for _ in range(200)]
+        assert max(samples) - min(samples) <= 3 * 5.0 + 1e-9
+
+    def test_bigger_frames_take_longer(self):
+        model = FpgaTimingModel()
+        small = model.service_time_ns(60, 8)
+        large = model.service_time_ns(1500, 8)
+        assert large > small
+
+    def test_line_rate_64b(self):
+        assert line_rate_pps(60) == pytest.approx(14_880_952, rel=1e-3)
+
+
+class TestFpgaTarget:
+    def test_send_returns_reply_and_latency(self):
+        target = FpgaTarget(IcmpEchoService(my_ip=IP_SVC))
+        emitted, latency_ns = target.send(echo_frame())
+        assert emitted
+        assert 500 < latency_ns < 3000
+
+    def test_dropped_frame_has_no_latency(self):
+        target = FpgaTarget(IcmpEchoService(my_ip=IP_SVC))
+        other = Frame(build_icmp_echo_request(
+            MAC_SVC, MAC_CLI, IP_CLI, ip_to_int("10.9.9.9")),
+            src_port=0).pad()
+        emitted, latency_ns = target.send(other)
+        assert emitted == []
+        assert latency_ns is None
+
+    def test_deterministic_with_seed(self):
+        lat_a = FpgaTarget(IcmpEchoService(my_ip=IP_SVC),
+                           seed=5).send(echo_frame())[1]
+        lat_b = FpgaTarget(IcmpEchoService(my_ip=IP_SVC),
+                           seed=5).send(echo_frame())[1]
+        assert lat_a == lat_b
+
+    def test_max_qps_capped_by_line_rate(self):
+        target = FpgaTarget(IcmpEchoService(my_ip=IP_SVC))
+        qps = target.max_qps(echo_frame())
+        assert 0 < qps <= line_rate_pps(60)
+
+    def test_tail_is_tiny(self):
+        """The paper's predictability claim, at target level."""
+        from repro.net.dag import LatencyCapture
+        target = FpgaTarget(IcmpEchoService(my_ip=IP_SVC))
+        capture = LatencyCapture()
+        for _ in range(500):
+            _, latency = target.send(echo_frame())
+            capture.record(latency)
+        assert capture.tail_to_average() < 1.05
+
+
+class TestCpuTarget:
+    def test_send_through_interfaces(self):
+        target = CpuTarget(IcmpEchoService(my_ip=IP_SVC))
+        emitted = target.send(echo_frame(src_port=1))
+        assert emitted and emitted[0][0] == 1
+        assert target.interface(1).tx_count == 1
+
+    def test_poll_processes_injected_frames(self):
+        target = CpuTarget(IcmpEchoService(my_ip=IP_SVC))
+        target.interface(2).inject(echo_frame())
+        emitted = target.poll()
+        assert emitted and emitted[0][0] == 2
+
+    def test_same_service_object_all_targets(self):
+        """One codebase: identical reply bytes from CPU and FPGA runs."""
+        service = IcmpEchoService(my_ip=IP_SVC)
+        cpu_reply = CpuTarget(service).send(echo_frame())[0][1]
+        service2 = IcmpEchoService(my_ip=IP_SVC)
+        fpga_reply = FpgaTarget(service2).send(echo_frame())[0][0][1]
+        assert bytes(cpu_reply.data) == bytes(fpga_reply.data)
+
+
+class TestMulticore:
+    def test_speedup_matches_paper_shape(self):
+        from repro.harness.multicore import run_multicore_scaling
+        _, _, speedup, _ = run_multicore_scaling()
+        assert 3.0 < speedup < 4.0       # paper: 3.7x
+
+    def test_writes_replicated_to_all_cores(self):
+        from repro.harness.multicore import functional_replication_check
+        assert functional_replication_check() == [1, 1, 1, 1]

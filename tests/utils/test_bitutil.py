@@ -1,0 +1,119 @@
+"""BitUtil: typed field access over byte buffers (paper Fig. 4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import BitRangeError
+from repro.utils.bitutil import BitUtil
+
+
+class TestGetSet:
+    def test_get8(self):
+        assert BitUtil.get8(bytearray(b"\x12\x34"), 1) == 0x34
+
+    def test_get16_big_endian(self):
+        assert BitUtil.get16(bytearray(b"\x12\x34"), 0) == 0x1234
+
+    def test_get32(self):
+        buf = bytearray(b"\xDE\xAD\xBE\xEF")
+        assert BitUtil.get32(buf, 0) == 0xDEADBEEF
+
+    def test_get48_mac_width(self):
+        buf = bytearray(b"\x02\x00\x00\x00\x00\xAA")
+        assert BitUtil.get48(buf, 0) == 0x0200000000AA
+
+    def test_get64(self):
+        buf = bytearray(8)
+        BitUtil.set64(buf, 0, 0x0102030405060708)
+        assert BitUtil.get64(buf, 0) == 0x0102030405060708
+
+    def test_set_then_get_roundtrip(self):
+        buf = bytearray(8)
+        BitUtil.set32(buf, 2, 0xCAFEBABE)
+        assert BitUtil.get32(buf, 2) == 0xCAFEBABE
+
+    def test_set_truncates_to_width(self):
+        buf = bytearray(2)
+        BitUtil.set16(buf, 0, 0x12345)
+        assert BitUtil.get16(buf, 0) == 0x2345
+
+    def test_set_in_place_mutation_visible_to_aliases(self):
+        buf = bytearray(4)
+        alias = buf
+        BitUtil.set16(buf, 0, 0xBEEF)
+        assert alias[0] == 0xBE
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(BitRangeError):
+            BitUtil.set16(bytearray(2), 0, -1)
+
+    def test_overrun_rejected(self):
+        with pytest.raises(BitRangeError):
+            BitUtil.get32(bytearray(3), 0)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(BitRangeError):
+            BitUtil.get8(bytearray(3), -1)
+
+
+class TestBits:
+    def test_get_bit(self):
+        buf = bytearray(b"\x80")
+        assert BitUtil.get_bit(buf, 0, 7) == 1
+        assert BitUtil.get_bit(buf, 0, 0) == 0
+
+    def test_set_bit(self):
+        buf = bytearray(1)
+        BitUtil.set_bit(buf, 0, 3, 1)
+        assert buf[0] == 0x08
+        BitUtil.set_bit(buf, 0, 3, 0)
+        assert buf[0] == 0
+
+    def test_bit_index_range(self):
+        with pytest.raises(BitRangeError):
+            BitUtil.get_bit(bytearray(1), 0, 8)
+
+    def test_get_bits_ipv4_version(self):
+        buf = bytearray(b"\x45")       # version 4, IHL 5
+        assert BitUtil.get_bits(buf, 0, 7, 4) == 4
+        assert BitUtil.get_bits(buf, 0, 3, 4) == 5
+
+    def test_set_bits_preserves_neighbours(self):
+        buf = bytearray(b"\xFF")
+        BitUtil.set_bits(buf, 0, 5, 2, 0)
+        assert buf[0] == 0b11001111
+
+    def test_bits_out_of_byte_rejected(self):
+        with pytest.raises(BitRangeError):
+            BitUtil.get_bits(bytearray(1), 0, 9, 2)
+
+
+class TestBytes:
+    def test_get_bytes_returns_immutable_copy(self):
+        buf = bytearray(b"abcdef")
+        chunk = BitUtil.get_bytes(buf, 1, 3)
+        assert chunk == b"bcd"
+        assert isinstance(chunk, bytes)
+
+    def test_set_bytes(self):
+        buf = bytearray(6)
+        BitUtil.set_bytes(buf, 2, b"xy")
+        assert bytes(buf) == b"\x00\x00xy\x00\x00"
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1),
+       st.integers(min_value=0, max_value=4))
+def test_property_set_get_roundtrip_32(value, offset):
+    buf = bytearray(8)
+    BitUtil.set32(buf, offset, value)
+    assert BitUtil.get32(buf, offset) == value
+
+
+@given(st.binary(min_size=2, max_size=16),
+       st.integers(min_value=0, max_value=14))
+def test_property_get16_matches_int_from_bytes(data, offset):
+    if offset + 2 > len(data):
+        return
+    buf = bytearray(data)
+    assert BitUtil.get16(buf, offset) == \
+        int.from_bytes(data[offset:offset + 2], "big")

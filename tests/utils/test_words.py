@@ -1,0 +1,150 @@
+"""Wide words: >64-bit arithmetic with operator overloads (§3.2 (iv))."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import WidthError
+from repro.utils.words import U128, U256, U512, WideWord, make_width
+
+U128_MAX = (1 << 128) - 1
+
+
+class TestConstruction:
+    def test_wraps_modulo_width(self):
+        assert WideWord((1 << 128) + 4, 128).value == 4
+
+    def test_fixed_width_classes(self):
+        assert U128(5).width == 128
+        assert U256(5).width == 256
+        assert U512(5).width == 512
+
+    def test_make_width(self):
+        u72 = make_width(72)
+        assert u72(0).width == 72
+        assert u72.__name__ == "U72"
+
+    def test_from_wideword(self):
+        assert WideWord(U128(9), 64).value == 9
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(WidthError):
+            WideWord(0, 0)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(WidthError):
+            WideWord("ten", 8)
+
+
+class TestArithmetic:
+    def test_add_wraps(self):
+        assert (U128(U128_MAX) + 1).value == 0
+
+    def test_sub_wraps(self):
+        assert (U128(0) - 1).value == U128_MAX
+
+    def test_mul(self):
+        assert (U128(1 << 64) * 2).value == 1 << 65
+
+    def test_mixed_int_arithmetic(self):
+        assert (5 + U128(10)).value == 15
+        assert (20 - U128(5)).value == 15
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(WidthError):
+            U128(1) + U256(1)
+
+    def test_floordiv_and_mod(self):
+        assert (U128(100) // 7).value == 14
+        assert (U128(100) % 7).value == 2
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            U128(1) // 0
+
+
+class TestBitwise:
+    def test_and_or_xor(self):
+        assert (U128(0b1100) & 0b1010).value == 0b1000
+        assert (U128(0b1100) | 0b1010).value == 0b1110
+        assert (U128(0b1100) ^ 0b1010).value == 0b0110
+
+    def test_invert_stays_in_width(self):
+        assert (~U128(0)).value == U128_MAX
+
+    def test_shifts(self):
+        assert (U128(1) << 100).value == 1 << 100
+        assert (U128(1 << 100) >> 100).value == 1
+
+    def test_shift_out_is_lost(self):
+        assert (U128(1) << 128).value == 0
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(WidthError):
+            U128(1) << -1
+
+
+class TestCompareSliceConcat:
+    def test_comparisons(self):
+        assert U128(5) == 5
+        assert U128(5) != 6
+        assert U128(5) < U128(6)
+        assert U128(7) >= U128(7)
+
+    def test_hashable(self):
+        assert len({U128(1), U128(1), U128(2)}) == 2
+
+    def test_bit_indexing(self):
+        word = U128(0b101)
+        assert word[0] == 1
+        assert word[1] == 0
+        assert word[2] == 1
+
+    def test_slice_extracts_field(self):
+        word = U128(0xAB << 8)
+        field = word[15:8]
+        assert field.value == 0xAB
+        assert field.width == 8
+
+    def test_replace_field(self):
+        word = U128(0).replace(15, 8, 0xCD)
+        assert word[15:8].value == 0xCD
+
+    def test_concat(self):
+        word = WideWord(0xAB, 8).concat(WideWord(0xCD, 8))
+        assert word.value == 0xABCD
+        assert word.width == 16
+
+    def test_bytes_roundtrip(self):
+        word = U128(0x0102030405060708090A0B0C0D0E0F10)
+        assert WideWord.from_bytes(word.to_bytes()).value == word.value
+
+    def test_int_conversion(self):
+        assert int(U128(42)) == 42
+        assert bool(U128(0)) is False
+
+
+@given(st.integers(min_value=0, max_value=U128_MAX),
+       st.integers(min_value=0, max_value=U128_MAX))
+def test_property_add_commutes(a, b):
+    assert (U128(a) + U128(b)).value == (U128(b) + U128(a)).value
+
+
+@given(st.integers(min_value=0, max_value=U128_MAX),
+       st.integers(min_value=0, max_value=U128_MAX))
+def test_property_add_matches_modular_int(a, b):
+    assert (U128(a) + U128(b)).value == (a + b) % (1 << 128)
+
+
+@given(st.integers(min_value=0, max_value=U128_MAX))
+def test_property_double_invert_identity(a):
+    assert (~~U128(a)).value == a
+
+
+@given(st.integers(min_value=0, max_value=U128_MAX),
+       st.integers(min_value=0, max_value=127),
+       st.integers(min_value=0, max_value=127))
+def test_property_slice_matches_shift_mask(value, hi, lo):
+    if hi < lo:
+        hi, lo = lo, hi
+    word = U128(value)
+    assert word[hi:lo].value == (value >> lo) & ((1 << (hi - lo + 1)) - 1)
