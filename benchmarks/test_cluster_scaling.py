@@ -1,0 +1,42 @@
+"""Scale-out: sharded cluster throughput vs shard count (ROADMAP).
+
+The ISSUE-1 acceptance bar: 8 shards sustain >= 4x a single FpgaTarget
+on the memaslap 90/10 mix, ring load imbalance <= 1.35, and removing
+one shard remaps < 25% of keys.
+"""
+
+from repro.cluster import ReadOneWriteAll
+from repro.harness.cluster_scaling import (
+    run_cluster_scaling, run_rebalance_cost,
+)
+
+
+def test_cluster_scaling_90_10(bench_once):
+    single_qps, results, text = bench_once(run_cluster_scaling,
+                                           (1, 2, 4, 8), 0.1)
+    print("\n" + text)
+
+    aggregate, speedup, imbalance = results[8]
+    assert speedup >= 4.0
+    assert imbalance <= 1.35
+    assert aggregate > results[4][0] > results[2][0] > results[1][0]
+
+    # One shard routed through the ring is (nearly) the single device;
+    # the ring cannot conjure throughput out of thin air.
+    assert results[1][1] <= 1.01
+
+
+def test_write_replication_costs_throughput(bench_once):
+    """§5.4's asymmetry generalizes: write-all replication caps the
+    scale-out the same way it capped the 4-core speedup."""
+    _, sharded, _ = bench_once(run_cluster_scaling, (8,), 0.1)
+    _, replicated, _ = run_cluster_scaling(
+        (8,), 0.1, policy_factory=ReadOneWriteAll)
+    assert replicated[8][0] < sharded[8][0]
+    assert replicated[8][1] >= 4.0      # but still clears the bar
+
+
+def test_rebalance_remaps_under_quarter(bench_once):
+    stats = bench_once(run_rebalance_cost, 8)
+    print("\nshard removal remapped %s" % stats)
+    assert 0.0 < stats.fraction < 0.25

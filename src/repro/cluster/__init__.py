@@ -1,0 +1,43 @@
+"""Scale-out clustering: shards, replication, and in-dataplane balancing.
+
+§5.4 scales one Emu device to four cores; this package scales the same
+services across *many* devices.  The pieces:
+
+* :mod:`repro.cluster.ring`        — consistent-hash ring (virtual
+  nodes, shard add/remove, remap statistics).
+* :mod:`repro.cluster.replication` — pluggable write-replication
+  policies plus per-service write classifiers.
+* :mod:`repro.cluster.balancer`    — the L4 load balancer, itself an
+  :class:`~repro.services.base.EmuService`.
+* :mod:`repro.cluster.target`      — :class:`ClusterTarget`, the
+  many-device analogue of ``MultiCoreTarget`` (batched dispatch,
+  aggregate throughput model).
+* :mod:`repro.cluster.topology`    — star and leaf-spine builders over
+  :mod:`repro.netsim` for latency-realistic runs.
+
+Any existing :class:`~repro.services.base.EmuService` (memcached,
+kvcache, DNS, NAT) drops in unchanged: the cluster layer only needs a
+service factory, a flow-key extractor, and optionally an ``is_write``
+classifier.
+"""
+
+from repro.cluster.balancer import (
+    ShardBalancerService, five_tuple_key, flow_key, memcached_key,
+)
+from repro.cluster.replication import (
+    NoReplication, PrimaryReplica, ReadOneWriteAll, ReplicationPolicy,
+    memcached_is_write,
+)
+from repro.cluster.ring import HashRing, RemapStats, ring_position
+from repro.cluster.target import ClusterTarget
+from repro.cluster.topology import (
+    ClusterNetwork, build_leaf_spine, build_star,
+)
+
+__all__ = [
+    "ClusterNetwork", "ClusterTarget", "HashRing", "NoReplication",
+    "PrimaryReplica", "ReadOneWriteAll", "RemapStats",
+    "ReplicationPolicy", "ShardBalancerService", "build_leaf_spine",
+    "build_star", "five_tuple_key", "flow_key", "memcached_is_write",
+    "memcached_key", "ring_position",
+]

@@ -1,0 +1,144 @@
+"""The shard balancer: an L4 load balancer that is itself an Emu program.
+
+The cluster's front door is not a magic dispatcher — it is an
+:class:`~repro.services.base.EmuService` like every other service in
+this repo, so it runs on the CPU target, in :mod:`repro.netsim`, or as
+the main logical core of an FPGA, and its cycle cost is measurable the
+same way (§3.3's single-codebase claim extended to the balancing tier).
+
+Requests arrive on the uplink port; the balancer extracts a flow key —
+the memcached key when the frame is memcached-over-UDP (so GET and SET
+of the same key always reach the same shard despite memaslap's random
+ephemeral source ports), the 5-tuple otherwise — walks it through the
+Pearson construction (:mod:`repro.ip.pearson`, Fig. 5's hash core), and
+emits the frame on the ring owner's port.  Frames arriving on shard
+ports are replies and are forwarded back up the uplink.
+
+Balancers compose hierarchically: a spine balancer hashing over leaf
+ids and per-leaf balancers hashing over local shard ids give the
+leaf-spine dataplane of :mod:`repro.cluster.topology`.
+"""
+
+from repro.core import netfpga as NetFPGA
+from repro.core.protocols.ethernet import EtherTypes
+from repro.core.protocols.ipv4 import IPProtocols, IPv4Wrapper
+from repro.core.protocols.memcached import (
+    BinaryMagic, MemcachedBinaryWrapper, parse_ascii_command,
+    split_udp_frame,
+)
+from repro.core.protocols.udp import UDPWrapper
+from repro.cluster.ring import DEFAULT_VNODES, HashRing, max_over_mean
+from repro.errors import ClusterError, ParseError
+from repro.kiwi.runtime import pause
+from repro.services.base import EmuService
+from repro.utils.bitutil import BitUtil
+
+MEMCACHED_PORT = 11211
+
+
+def memcached_key(buf):
+    """The memcached key carried by *buf*, or ``None`` if not memcached."""
+    try:
+        if len(buf) < 14 or BitUtil.get16(buf, 12) != EtherTypes.IPV4:
+            return None
+        ip = IPv4Wrapper(buf)
+        if ip.protocol != IPProtocols.UDP:
+            return None
+        udp = UDPWrapper(buf)
+        if udp.destination_port != MEMCACHED_PORT:
+            return None
+        _, body = split_udp_frame(udp.payload())
+        if body[:1] and body[0] == BinaryMagic.REQUEST:
+            return MemcachedBinaryWrapper(body).key()
+        return parse_ascii_command(body).key
+    except ParseError:
+        return None
+
+
+def five_tuple_key(buf):
+    """``src_ip·dst_ip·proto·sport·dport`` as bytes (L4 flow identity)."""
+    try:
+        if len(buf) < 14 or BitUtil.get16(buf, 12) != EtherTypes.IPV4:
+            return bytes(buf[:14]) or None
+        ip = IPv4Wrapper(buf)
+        proto = ip.protocol
+        ports = b"\x00\x00\x00\x00"
+        if proto in (IPProtocols.TCP, IPProtocols.UDP):
+            offset = ip.payload_offset()
+            if len(buf) >= offset + 4:
+                ports = bytes(buf[offset:offset + 4])
+        return (int(ip.source_ip_address).to_bytes(4, "big") +
+                int(ip.destination_ip_address).to_bytes(4, "big") +
+                bytes([proto]) + ports)
+    except ParseError:
+        return bytes(buf[:14]) or None
+
+
+def flow_key(buf):
+    """Default key extractor: memcached key, else the 5-tuple."""
+    key = memcached_key(buf)
+    if key is not None:
+        return key
+    return five_tuple_key(buf)
+
+
+class ShardBalancerService(EmuService):
+    """Hash the flow key, emit on the owning shard's port."""
+
+    name = "shard-balancer"
+
+    def __init__(self, shard_ports, uplink_port=0, ring=None,
+                 vnodes=DEFAULT_VNODES, key_fn=flow_key):
+        """*shard_ports* maps shard id → output port (a list of ports
+        auto-names shards ``shard0..N-1``)."""
+        if not isinstance(shard_ports, dict):
+            shard_ports = {"shard%d" % index: port
+                           for index, port in enumerate(shard_ports)}
+        if not shard_ports:
+            raise ClusterError("balancer needs at least one shard port")
+        if uplink_port in shard_ports.values():
+            raise ClusterError("uplink port %d collides with a shard port"
+                               % uplink_port)
+        self.shard_ports = dict(shard_ports)
+        self.uplink_port = uplink_port
+        self.ring = ring if ring is not None else \
+            HashRing(sorted(shard_ports), vnodes=vnodes)
+        self.key_fn = key_fn
+        self.dispatched = {shard: 0 for shard in self.shard_ports}
+        self.replies_forwarded = 0
+        self.unroutable = 0
+
+    def on_frame(self, dataplane):
+        if dataplane.src_port != self.uplink_port:
+            # Reply path: anything from a shard goes back up.
+            self.replies_forwarded += 1
+            NetFPGA.set_output_port(dataplane, self.uplink_port)
+            return
+        key = self.key_fn(dataplane.tdata)
+        yield pause()
+        if key is None:
+            self.unroutable += 1
+            NetFPGA.drop(dataplane)
+            return
+        shard = self.ring.lookup(key)
+        yield pause()
+        port = self.shard_ports.get(shard)
+        if port is None:
+            self.unroutable += 1
+            NetFPGA.drop(dataplane)
+            return
+        self.dispatched[shard] += 1
+        NetFPGA.set_output_port(dataplane, port)
+
+    def datapath_extra_cycles(self, frame):
+        """Byte-serial Pearson walk over the flow key (≤ header + key)."""
+        return 16
+
+    def dispatch_imbalance(self):
+        """Max/mean dispatch count across shards (1.0 = perfectly even)."""
+        return max_over_mean(self.dispatched.values())
+
+    def reset(self):
+        self.dispatched = {shard: 0 for shard in self.shard_ports}
+        self.replies_forwarded = 0
+        self.unroutable = 0

@@ -1,0 +1,88 @@
+"""Pluggable replication policies for the sharded cluster.
+
+§5.4's four-core experiment hard-wires one policy — every write is
+applied to every instance, reads are served locally
+(:class:`repro.targets.multicore.MultiCoreTarget`).  At cluster scale
+that is just one point in a spectrum, so the policy is a first-class
+object the :class:`~repro.cluster.target.ClusterTarget` consults per
+request:
+
+* :class:`NoReplication` — pure sharding: each key lives on exactly the
+  shard the ring assigns it.  Writes scale with N; losing a shard loses
+  its keys.
+* :class:`ReadOneWriteAll` — the §5.4 scheme generalized to N shards:
+  reads are served by the ring owner alone, writes are applied to every
+  shard, so any shard can answer any read if the ring is bypassed.
+* :class:`PrimaryReplica` — writes run synchronously on the ring owner
+  and are queued for *asynchronous* apply on the next *k* shards
+  (flushed by :meth:`ClusterTarget.flush_replication`), trading read
+  freshness on replicas for write latency.
+
+A policy only decides *where requests go*; what counts as a write is a
+per-service classifier (``is_write``) such as :func:`memcached_is_write`.
+"""
+
+from repro.core.protocols.memcached import memcached_is_write
+from repro.errors import ClusterError
+from repro.targets.multicore import MultiCoreTarget
+
+__all__ = ["NoReplication", "PrimaryReplica", "ReadOneWriteAll",
+           "ReplicationPolicy", "memcached_is_write"]
+
+
+class ReplicationPolicy:
+    """Base policy: where a write goes beyond its ring owner."""
+
+    name = "none"
+
+    #: Applying a replicated write on a non-owner shard skips request
+    #: parsing and response generation; only the store update runs —
+    #: the same calibration as the §5.4 multi-core model.
+    REPLICA_APPLY_FRACTION = MultiCoreTarget.REPLICA_APPLY_FRACTION
+
+    #: Replica applies run inline with ``send()`` (True) or are queued
+    #: until ``flush_replication()`` (False).
+    synchronous_apply = True
+
+    def replica_indices(self, owner_index, num_shards):
+        """Shard indices that receive a replica apply of this write."""
+        return ()
+
+    def replicas_per_write(self, num_shards):
+        """How many replica applies one write generates (for the
+        throughput model)."""
+        return len(tuple(self.replica_indices(0, num_shards)))
+
+
+class NoReplication(ReplicationPolicy):
+    """Pure sharding: a write touches only its ring owner."""
+
+    name = "sharded"
+
+
+class ReadOneWriteAll(ReplicationPolicy):
+    """§5.4 write replication, generalized from ports to shards."""
+
+    name = "read-one-write-all"
+    synchronous_apply = True
+
+    def replica_indices(self, owner_index, num_shards):
+        return tuple(index for index in range(num_shards)
+                     if index != owner_index)
+
+
+class PrimaryReplica(ReplicationPolicy):
+    """Primary applies synchronously; *k* successors apply lazily."""
+
+    name = "primary-replica"
+    synchronous_apply = False
+
+    def __init__(self, num_replicas=1):
+        if num_replicas < 0:
+            raise ClusterError("num_replicas must be >= 0")
+        self.num_replicas = num_replicas
+
+    def replica_indices(self, owner_index, num_shards):
+        count = min(self.num_replicas, num_shards - 1)
+        return tuple((owner_index + offset) % num_shards
+                     for offset in range(1, count + 1))

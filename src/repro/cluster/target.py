@@ -1,0 +1,256 @@
+"""``ClusterTarget``: N sharded Emu devices behind one `send()`.
+
+Where :class:`~repro.targets.multicore.MultiCoreTarget` scales *up*
+(one device, one core per port), this target scales *out*: every shard
+is a full :class:`~repro.targets.fpga.FpgaTarget` (its own device), a
+consistent-hash ring routes each request to the shard owning its key,
+and a :class:`~repro.cluster.replication.ReplicationPolicy` decides
+where writes are additionally applied.
+
+The API matches the existing targets — ``send(frame)`` returns
+``(emitted, latency_ns)`` and ``max_qps`` gives sustainable throughput
+— plus ``send_batch(frames)``, which groups a frame list by owning
+shard before dispatching so the per-frame Python overhead (ring lookup
+machinery, attribute chasing) is amortized across each shard's run.
+"""
+
+from repro.cluster.balancer import flow_key
+from repro.cluster.replication import NoReplication
+from repro.cluster.ring import DEFAULT_VNODES, HashRing, max_over_mean
+from repro.errors import ClusterError
+from repro.targets.fpga import FpgaTarget, line_rate_pps
+
+
+class ClusterTarget:
+    """N sharded service instances behind a consistent-hash ring."""
+
+    def __init__(self, service_factory, num_shards=8, policy=None,
+                 is_write=None, key_fn=flow_key, vnodes=DEFAULT_VNODES,
+                 seed=1):
+        if num_shards < 1:
+            raise ClusterError("need at least one shard")
+        self._factory = service_factory
+        self._seed = seed
+        self.policy = policy if policy is not None else NoReplication()
+        self.key_fn = key_fn
+        self._is_write = is_write or (lambda frame: False)
+        self.shards = {}               # shard_id -> FpgaTarget
+        self.ring = HashRing(vnodes=vnodes)
+        self._next_shard = 0
+        self._shard_order = []         # sorted ids + index, cached for
+        self._shard_index = {}         # the per-write replica planner
+        # Stats.
+        self.requests = 0
+        self.writes = 0
+        self.replica_applies = 0
+        self.batches = 0
+        self.shard_loads = {}
+        self._pending = []             # queued async replica applies
+        for _ in range(num_shards):
+            self.add_shard()
+
+    # -- membership ---------------------------------------------------------
+
+    @property
+    def num_shards(self):
+        return len(self.shards)
+
+    @property
+    def shard_ids(self):
+        return self.ring.shards
+
+    def add_shard(self):
+        """Bring up a new shard device and join it to the ring."""
+        shard_number = self._next_shard
+        self._next_shard += 1
+        shard_id = "shard%d" % shard_number
+        # Seed by the never-reused shard number, so a shard added after
+        # a removal does not duplicate a live shard's jitter stream.
+        self.shards[shard_id] = FpgaTarget(
+            self._factory(), num_ports=1,
+            seed=self._seed + shard_number)
+        self.ring.add_shard(shard_id)
+        self.shard_loads[shard_id] = 0
+        self._reindex()
+        return shard_id
+
+    def _reindex(self):
+        self._shard_order = self.ring.shards
+        self._shard_index = {shard_id: index for index, shard_id
+                             in enumerate(self._shard_order)}
+
+    def remove_shard(self, shard_id, sample_keys=None):
+        """Drain a shard: rehome its stored entries, leave the ring.
+
+        Entries are migrated by re-applying them to their new ring
+        owners through the service's store API (duck-typed:
+        ``_store``/``store_set``, the memcached/kvcache shape); services
+        without that shape just lose the shard's soft state, like a
+        cache node going away.  Returns
+        :class:`~repro.cluster.ring.RemapStats` over *sample_keys*
+        (default: every key stored anywhere in the cluster, so the
+        fraction reflects the whole key population, not just the
+        departing shard's).
+        """
+        if shard_id not in self.shards:
+            raise ClusterError("no shard %r" % (shard_id,))
+        if len(self.shards) == 1:
+            raise ClusterError("cannot remove the last shard")
+        if sample_keys is None:
+            sample_keys = [key for shard in self.shards.values()
+                           for key in getattr(shard.service, "_store",
+                                              ())]
+        before = self.ring
+        departing = self.shards.pop(shard_id)
+        self.ring = HashRing(before.shards, vnodes=before.vnodes)
+        self.ring.remove_shard(shard_id)
+        self.shard_loads.pop(shard_id, None)
+        self._reindex()
+
+        store = getattr(departing.service, "_store", None)
+        if store:
+            for key, entry in store.items():
+                if before.lookup(key) != shard_id:
+                    continue     # a replica copy; the owner's is fresher
+                owner = self.ring.lookup(key)
+                service = self.shards[owner].service
+                if hasattr(service, "store_set"):
+                    value, flags = entry if isinstance(entry, tuple) \
+                        else (entry, 0)
+                    service.store_set(key, value, flags)
+
+        return before.remap_stats(self.ring, sample_keys) \
+            if sample_keys else None
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _owner(self, frame):
+        key = self.key_fn(frame.data)
+        if key is None:
+            raise ClusterError("frame has no routable key")
+        return self.ring.lookup(key)
+
+    def _apply_replicas(self, frame, owner_id):
+        shard_ids = self._shard_order
+        owner_index = self._shard_index[owner_id]
+        replicas = self.policy.replica_indices(owner_index,
+                                               len(shard_ids))
+        for index in replicas:
+            replica_id = shard_ids[index]
+            if self.policy.synchronous_apply:
+                self._apply_one(replica_id, frame)
+            else:
+                self._pending.append((replica_id, frame.copy()))
+
+    def _apply_one(self, shard_id, frame):
+        """Replica apply: store update only, no latency recording."""
+        replica = frame.copy()
+        replica.src_port = 0
+        self.shards[shard_id].service.process(replica)
+        self.replica_applies += 1
+
+    def send(self, frame):
+        """Route one request to its shard; returns (emitted, latency_ns)."""
+        owner = self._owner(frame)
+        self.requests += 1
+        self.shard_loads[owner] += 1
+        local = frame.copy()
+        local.src_port = 0
+        result = self.shards[owner].send(local)
+        if self._is_write(frame):
+            self.writes += 1
+            self._apply_replicas(frame, owner)
+        return result
+
+    def send_batch(self, frames):
+        """Dispatch a frame list, grouped by shard, preserving order.
+
+        Grouping turns N interleaved shard switches into one pass per
+        shard: the shard target, its ``send`` bound method, and the
+        stat counters are resolved once per run instead of once per
+        frame.  Results come back in input order.  Replies are
+        identical to sequential ``send()`` — a key's reads and writes
+        land in one shard's batch, so their relative order (the only
+        order replies depend on) is preserved.
+        """
+        frames = list(frames)
+        by_shard = {}
+        for position, frame in enumerate(frames):
+            by_shard.setdefault(self._owner(frame), []).append(
+                (position, frame))
+        results = [None] * len(frames)
+        is_write = self._is_write
+        for owner, batch in by_shard.items():
+            shard_send = self.shards[owner].send
+            writes = []
+            for position, frame in batch:
+                local = frame.copy()
+                local.src_port = 0
+                results[position] = shard_send(local)
+                if is_write(frame):
+                    writes.append(frame)
+            self.requests += len(batch)
+            self.shard_loads[owner] += len(batch)
+            self.writes += len(writes)
+            for frame in writes:
+                self._apply_replicas(frame, owner)
+        self.batches += 1
+        return results
+
+    def flush_replication(self):
+        """Apply queued async replica writes; returns how many ran."""
+        pending, self._pending = self._pending, []
+        for shard_id, frame in pending:
+            if shard_id in self.shards:        # shard may have left
+                self._apply_one(shard_id, frame)
+        return len(pending)
+
+    @property
+    def pending_replication(self):
+        return len(self._pending)
+
+    # -- statistics ---------------------------------------------------------
+
+    def load_imbalance(self):
+        """Max/mean requests routed per shard (1.0 = perfectly even)."""
+        return max_over_mean(self.shard_loads.values())
+
+    def latencies_ns(self):
+        """All recorded per-request latencies across shards."""
+        merged = []
+        for shard in self.shards.values():
+            merged.extend(shard.latencies_ns)
+        return merged
+
+    # -- throughput model ---------------------------------------------------
+
+    def max_qps(self, read_frame, write_frame, write_ratio,
+                imbalance=None):
+        """Aggregate throughput for a read/write mix.
+
+        The hottest shard saturates first, so the per-shard budget is
+        scaled by the ring's load *imbalance* (measured from routed
+        traffic unless given).  At aggregate rate R each shard handles
+        its (imbalanced) share of full requests plus its share of the
+        policy's replica applies — the §5.4 write-replication asymmetry
+        generalized to N shards:
+
+            R·L/N · [(1-w)/G + w/W] + R·w·a/N · β/W = 1
+
+        with G/W the single-shard read/write rates, a the policy's
+        replica applies per write, β the replica-apply cost fraction.
+        """
+        if imbalance is None:
+            imbalance = self.load_imbalance()
+        any_shard = next(iter(self.shards.values()))
+        read_qps = any_shard.max_qps(read_frame.copy())
+        write_qps = any_shard.max_qps(write_frame.copy())
+        n = len(self.shards)
+        applies = self.policy.replicas_per_write(n)
+        beta = self.policy.REPLICA_APPLY_FRACTION
+        per_shard = (imbalance / n) * ((1.0 - write_ratio) / read_qps +
+                                       write_ratio / write_qps) + \
+            (write_ratio * applies / n) * beta / write_qps
+        aggregate = 1.0 / per_shard
+        line = n * line_rate_pps(len(read_frame.data))
+        return min(aggregate, line)

@@ -1,0 +1,136 @@
+"""Instantiate the cluster on :mod:`repro.netsim` for latency-real runs.
+
+Two builders:
+
+* :func:`build_star` — client, one balancer, N shards on point-to-point
+  links: the smallest topology that exercises the whole dataplane.
+* :func:`build_leaf_spine` — the datacenter shape: a spine balancer
+  hashes each key to a leaf; each leaf runs its *own*
+  :class:`~repro.cluster.balancer.ShardBalancerService` over its local
+  shards.  Because the balancer is just an Emu service, the two tiers
+  are the same program with different rings — hierarchical consistent
+  hashing with no new mechanism.
+
+Every wire is a real :class:`~repro.netsim.link.Link` (latency +
+serialization), so round trips include the fabric, not just the
+service: a request crosses client→spine→leaf→shard and the reply walks
+back the same way.
+"""
+
+from repro.cluster.balancer import ShardBalancerService, flow_key
+from repro.cluster.ring import DEFAULT_VNODES
+from repro.errors import ClusterError
+from repro.netsim import Network
+
+#: Intra-rack copper vs inter-rack fiber: leaf links are shorter.
+SPINE_LINK_NS = 1500
+LEAF_LINK_NS = 500
+CLIENT_LINK_NS = 2000
+
+
+class ClusterNetwork:
+    """A built cluster: the netsim network plus named handles."""
+
+    def __init__(self, net, client, spine, leaves, shards):
+        self.net = net
+        self.client = client
+        self.spine = spine             # ServiceNode running the balancer
+        self.leaves = leaves           # [ServiceNode] (empty for star)
+        self.shards = shards           # {shard_id: ServiceNode}
+
+    @property
+    def balancer(self):
+        """The spine's balancer service."""
+        return self.spine.service
+
+    def shard_services(self):
+        return {shard_id: node.service
+                for shard_id, node in self.shards.items()}
+
+    def run_requests(self, frames, max_events=1_000_000):
+        """Send *frames* from the client, run to quiescence, and return
+        the replies that made it back."""
+        for frame in frames:
+            self.client.send(frame.copy())
+        self.net.run(max_events=max_events)
+        return self.client.drain()
+
+    def dispatch_counts(self):
+        """Requests each shard handled (from the shard nodes)."""
+        return {shard_id: node.frames_handled
+                for shard_id, node in self.shards.items()}
+
+
+def build_star(service_factory, num_shards=4, key_fn=flow_key,
+               vnodes=DEFAULT_VNODES, client_latency_ns=CLIENT_LINK_NS,
+               shard_latency_ns=LEAF_LINK_NS,
+               bandwidth_bps=10_000_000_000):
+    """Client — balancer — N shards, one hop each."""
+    if num_shards < 1:
+        raise ClusterError("need at least one shard")
+    net = Network()
+    client = net.add_host("client")
+    shard_ids = ["shard%d" % index for index in range(num_shards)]
+    balancer = ShardBalancerService(
+        {shard_id: 1 + index for index, shard_id in enumerate(shard_ids)},
+        uplink_port=0, vnodes=vnodes, key_fn=key_fn)
+    spine = net.add_service("lb", balancer, num_ports=1 + num_shards)
+    net.connect(client, 0, spine, 0, latency_ns=client_latency_ns,
+                bandwidth_bps=bandwidth_bps)
+    shards = {}
+    for index, shard_id in enumerate(shard_ids):
+        node = net.add_service(shard_id, service_factory(), num_ports=1)
+        net.connect(spine, 1 + index, node, 0,
+                    latency_ns=shard_latency_ns,
+                    bandwidth_bps=bandwidth_bps)
+        shards[shard_id] = node
+    return ClusterNetwork(net, client, spine, [], shards)
+
+
+def build_leaf_spine(service_factory, num_shards=8, shards_per_leaf=4,
+                     key_fn=flow_key, vnodes=DEFAULT_VNODES,
+                     client_latency_ns=CLIENT_LINK_NS,
+                     spine_latency_ns=SPINE_LINK_NS,
+                     leaf_latency_ns=LEAF_LINK_NS,
+                     bandwidth_bps=10_000_000_000):
+    """Client — spine balancer — leaf balancers — shards."""
+    if num_shards < 1:
+        raise ClusterError("need at least one shard")
+    if shards_per_leaf < 1:
+        raise ClusterError("need at least one shard per leaf")
+    net = Network()
+    client = net.add_host("client")
+
+    shard_ids = ["shard%d" % index for index in range(num_shards)]
+    groups = [shard_ids[start:start + shards_per_leaf]
+              for start in range(0, num_shards, shards_per_leaf)]
+
+    # Spine: hashes the same flow key, but over leaf labels.
+    spine_svc = ShardBalancerService(
+        {"leaf%d" % index: 1 + index for index in range(len(groups))},
+        uplink_port=0, vnodes=vnodes, key_fn=key_fn)
+    spine = net.add_service("spine", spine_svc,
+                            num_ports=1 + len(groups))
+    net.connect(client, 0, spine, 0, latency_ns=client_latency_ns,
+                bandwidth_bps=bandwidth_bps)
+
+    leaves = []
+    shards = {}
+    for leaf_index, group in enumerate(groups):
+        leaf_svc = ShardBalancerService(
+            {shard_id: 1 + slot for slot, shard_id in enumerate(group)},
+            uplink_port=0, vnodes=vnodes, key_fn=key_fn)
+        leaf = net.add_service("leaf%d" % leaf_index, leaf_svc,
+                               num_ports=1 + len(group))
+        net.connect(spine, 1 + leaf_index, leaf, 0,
+                    latency_ns=spine_latency_ns,
+                    bandwidth_bps=bandwidth_bps)
+        leaves.append(leaf)
+        for slot, shard_id in enumerate(group):
+            node = net.add_service(shard_id, service_factory(),
+                                   num_ports=1)
+            net.connect(leaf, 1 + slot, node, 0,
+                        latency_ns=leaf_latency_ns,
+                        bandwidth_bps=bandwidth_bps)
+            shards[shard_id] = node
+    return ClusterNetwork(net, client, spine, leaves, shards)

@@ -10,6 +10,7 @@ sequence, total datagrams, reserved) to every datagram; both codecs
 account for it.
 """
 
+from repro.core.protocols.udp import UDPWrapper
 from repro.errors import ParseError
 from repro.utils.bitutil import BitUtil
 
@@ -53,6 +54,20 @@ def split_udp_frame(payload):
     if len(payload) < UDP_FRAME_HEADER_BYTES:
         raise ParseError("memcached UDP payload too short")
     return BitUtil.get16(payload, 0), bytes(payload[UDP_FRAME_HEADER_BYTES:])
+
+
+def memcached_is_write(frame):
+    """Classify a memcached-over-UDP :class:`~repro.net.packet.Frame`
+    as a store mutation (SET or DELETE) — the per-service classifier
+    the multi-core and cluster replication schemes key off."""
+    try:
+        udp = UDPWrapper(frame.data)
+        _, body = split_udp_frame(udp.payload())
+    except Exception:
+        return False
+    if body[:1] == b"\x80":
+        return body[1] in (BinaryOpcodes.SET, BinaryOpcodes.DELETE)
+    return body[:4] == b"set " or body[:7] == b"delete "
 
 
 class MemcachedBinaryWrapper:

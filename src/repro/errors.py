@@ -57,3 +57,7 @@ class NetSimError(ReproError):
 
 class HostModelError(ReproError):
     """The host-stack model received invalid parameters."""
+
+
+class ClusterError(ReproError):
+    """The scale-out cluster layer was misconfigured."""

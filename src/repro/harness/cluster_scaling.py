@@ -1,0 +1,73 @@
+"""Scale-out experiment: N sharded devices vs one FPGA (ROADMAP).
+
+The §5.4 experiment scales one device to four cores (3.7x on the 90/10
+memaslap mix, capped by write replication); this harness runs the same
+mix against a :class:`~repro.cluster.target.ClusterTarget` and measures
+
+* aggregate throughput vs shard count (the hottest shard saturates
+  first, so the consistent-hash ring's measured load imbalance scales
+  the per-shard budget),
+* the ring's max/mean load imbalance under the real workload, and
+* the rebalance cost of removing one shard (fraction of keys remapped).
+"""
+
+from repro.cluster import ClusterTarget, NoReplication, memcached_is_write
+from repro.harness.multicore import (
+    memaslap_frames, memaslap_rw_pair, single_fpga_qps,
+)
+from repro.harness.report import render_table
+from repro.harness.table4 import SERVICE_IP
+from repro.services import MemcachedService
+
+ROUTED_REQUESTS = 2000          # enough traffic to measure imbalance
+
+
+def _factory():
+    return MemcachedService(my_ip=SERVICE_IP)
+
+
+def run_cluster_scaling(shard_counts=(1, 2, 4, 8), write_ratio=0.1,
+                        policy_factory=NoReplication, seed=17):
+    """Throughput vs shard count on the memaslap mix.
+
+    Returns ``(single_qps, results, text)`` where *results* maps shard
+    count to ``(aggregate_qps, speedup, imbalance)``.  The imbalance is
+    *measured* from routing the workload, not assumed.
+    """
+    read_frame, write_frame = memaslap_rw_pair(seed)
+    single_qps = single_fpga_qps(write_ratio, seed,
+                                 rw_pair=(read_frame, write_frame))
+    workload = memaslap_frames(1.0 - write_ratio, count=ROUTED_REQUESTS,
+                               seed=seed + 2)
+
+    results = {}
+    rows = [["1 (single FPGA)", "%.3f" % (single_qps / 1e6), "1.00",
+             "-"]]
+    for count in shard_counts:
+        cluster = ClusterTarget(_factory, num_shards=count,
+                                policy=policy_factory(),
+                                is_write=memcached_is_write, seed=seed)
+        cluster.send_batch([frame.copy() for frame in workload])
+        imbalance = cluster.load_imbalance()
+        aggregate = cluster.max_qps(read_frame, write_frame, write_ratio)
+        speedup = aggregate / single_qps
+        results[count] = (aggregate, speedup, imbalance)
+        rows.append(["%d shards" % count, "%.3f" % (aggregate / 1e6),
+                     "%.2f" % speedup, "%.2f" % imbalance])
+
+    text = render_table(
+        ["Configuration", "Throughput (Mq/s)", "Speedup",
+         "Load imbalance"],
+        rows, title="Cluster scale-out, memaslap %d%%/%d%% GET/SET"
+        % (round(100 * (1 - write_ratio)), round(100 * write_ratio)))
+    return single_qps, results, text
+
+
+def run_rebalance_cost(num_shards=8, key_space=1024, seed=17):
+    """Remove one of *num_shards* shards; report the remap fraction."""
+    cluster = ClusterTarget(_factory, num_shards=num_shards,
+                            is_write=memcached_is_write, seed=seed)
+    sample = [("k%05d" % index).encode() for index in range(key_space)]
+    victim = cluster.shard_ids[num_shards // 2]
+    stats = cluster.remove_shard(victim, sample_keys=sample)
+    return stats

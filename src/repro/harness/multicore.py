@@ -5,9 +5,7 @@ by 3.7x when considering a workload of 90% GET and 10% SET requests.
 SET requests must be applied to all instances."
 """
 
-from repro.core.protocols.ipv4 import IPv4Wrapper
-from repro.core.protocols.memcached import split_udp_frame
-from repro.core.protocols.udp import UDPWrapper
+from repro.core.protocols.memcached import memcached_is_write as _is_write
 from repro.harness.report import render_table
 from repro.harness.table4 import CLIENT_IP, SERVICE_IP
 from repro.net.workloads import memaslap_mix
@@ -16,21 +14,32 @@ from repro.targets.fpga import FpgaTarget
 from repro.targets.multicore import MultiCoreTarget
 
 
-def _is_write(frame):
-    """Classify a memcached-over-UDP frame as a SET (write)."""
-    try:
-        udp = UDPWrapper(frame.data)
-        _, body = split_udp_frame(udp.payload())
-    except Exception:
-        return False
-    if body[:1] == b"\x80":
-        return body[1] == 0x01                # binary SET
-    return body[:4] == b"set "                # ASCII SET
-
-
-def _frames(get_ratio, count=64, seed=17):
+def memaslap_frames(get_ratio, count=64, seed=17):
+    """The memaslap mix against the Table 4 addresses (shared by the
+    multi-core and cluster scaling harnesses)."""
     return list(memaslap_mix(SERVICE_IP, CLIENT_IP, count=count,
                              get_ratio=get_ratio, seed=seed))
+
+
+def memaslap_rw_pair(seed=17):
+    """One representative (GET frame, SET frame) from the mix."""
+    reads = [f for f in memaslap_frames(1.0, count=8, seed=seed) if
+             not _is_write(f)]
+    writes = [f for f in memaslap_frames(0.0, count=8, seed=seed + 1) if
+              _is_write(f)]
+    return reads[0], writes[0]
+
+
+def single_fpga_qps(write_ratio=0.1, seed=17, rw_pair=None):
+    """One FpgaTarget serving the whole mix serially (the baseline
+    every scaling experiment compares against).  Pass *rw_pair* when
+    the caller already generated the representative frames."""
+    read_frame, write_frame = rw_pair or memaslap_rw_pair(seed)
+    single = FpgaTarget(MemcachedService(my_ip=SERVICE_IP), seed=seed)
+    read_qps = single.max_qps(read_frame.copy())
+    write_qps = single.max_qps(write_frame.copy())
+    return 1.0 / (write_ratio / write_qps +
+                  (1.0 - write_ratio) / read_qps)
 
 
 def run_multicore_scaling(num_cores=4, write_ratio=0.1, seed=17):
@@ -41,18 +50,9 @@ def run_multicore_scaling(num_cores=4, write_ratio=0.1, seed=17):
     def factory():
         return MemcachedService(my_ip=SERVICE_IP)
 
-    reads = [f for f in _frames(1.0, count=8, seed=seed) if
-             not _is_write(f)]
-    writes = [f for f in _frames(0.0, count=8, seed=seed + 1) if
-              _is_write(f)]
-    read_frame, write_frame = reads[0], writes[0]
-
-    single = FpgaTarget(factory(), seed=seed)
-    read_qps = single.max_qps(read_frame.copy())
-    write_qps = single.max_qps(write_frame.copy())
-    # One core serves the whole mix serially.
-    single_qps = 1.0 / (write_ratio / write_qps +
-                        (1.0 - write_ratio) / read_qps)
+    read_frame, write_frame = memaslap_rw_pair(seed)
+    single_qps = single_fpga_qps(write_ratio, seed,
+                                 rw_pair=(read_frame, write_frame))
 
     multi = MultiCoreTarget(factory, num_cores=num_cores, seed=seed,
                             is_write=_is_write)
@@ -75,7 +75,7 @@ def functional_replication_check(num_cores=4, seed=17):
 
     multi = MultiCoreTarget(factory, num_cores=num_cores, seed=seed,
                             is_write=_is_write)
-    set_frames = [f for f in _frames(0.0, count=4, seed=seed + 2)
+    set_frames = [f for f in memaslap_frames(0.0, count=4, seed=seed + 2)
                   if _is_write(f)]
     frame = set_frames[0]
     multi.send(frame.copy(), port=1)

@@ -24,7 +24,13 @@ class EventLoop:
                         action))
 
     def run(self, until_ns=None, max_events=1_000_000):
-        """Process events until the queue drains (or a time/count cap)."""
+        """Process events until the queue drains (or a time/count cap).
+
+        *max_events* caps this call alone; ``events_run`` keeps the
+        lifetime total, so repeated ``run()`` calls on one loop never
+        trip the cap on old events.
+        """
+        events_this_call = 0
         while self._queue:
             when, _, action = self._queue[0]
             if until_ns is not None and when > until_ns:
@@ -33,7 +39,8 @@ class EventLoop:
             self.now_ns = when
             action()
             self.events_run += 1
-            if self.events_run > max_events:
+            events_this_call += 1
+            if events_this_call > max_events:
                 raise NetSimError("event cap exceeded (livelock?)")
         if until_ns is not None:
             self.now_ns = max(self.now_ns, until_ns)

@@ -1,0 +1,124 @@
+"""The shard balancer as an Emu program, plus key extraction."""
+
+import pytest
+
+from repro.cluster.balancer import (
+    ShardBalancerService, five_tuple_key, flow_key, memcached_key,
+)
+from repro.cluster.ring import HashRing
+from repro.core.dataplane import NetFPGAData
+from repro.errors import ClusterError
+from repro.net.packet import Frame, ip_to_int
+from repro.net.workloads import memaslap_mix, ping_flood, tcp_syn_stream
+from repro.targets.fpga import FpgaTarget
+
+SERVICE_IP = ip_to_int("10.0.0.1")
+CLIENT_IP = ip_to_int("10.0.0.2")
+
+
+def mix(count, **kwargs):
+    kwargs.setdefault("seed", 13)
+    return list(memaslap_mix(SERVICE_IP, CLIENT_IP, count=count, **kwargs))
+
+
+class TestKeyExtraction:
+    def test_memcached_key_from_ascii_get(self):
+        frames = mix(20, get_ratio=1.0)
+        keys = [memcached_key(f.data) for f in frames]
+        assert all(k is not None and k.startswith(b"k") for k in keys)
+
+    def test_memcached_key_from_binary(self):
+        frames = mix(20, protocol="binary")
+        keys = [memcached_key(f.data) for f in frames]
+        assert all(k is not None and len(k) == 6 for k in keys)
+
+    def test_memcached_key_same_for_get_and_set(self):
+        """memaslap randomizes source ports, so only key-based hashing
+        keeps a key's GETs and SETs on one shard."""
+        gets = {memcached_key(f.data) for f in mix(300, get_ratio=1.0)}
+        sets = {memcached_key(f.data) for f in mix(300, get_ratio=0.0)}
+        assert gets & sets                      # overlapping key space
+
+    def test_non_memcached_falls_back_to_five_tuple(self):
+        frame = next(iter(tcp_syn_stream(SERVICE_IP, CLIENT_IP, count=1)))
+        assert memcached_key(frame.data) is None
+        key = flow_key(frame.data)
+        assert key == five_tuple_key(frame.data)
+        assert len(key) == 13                   # ips + proto + ports
+
+    def test_icmp_five_tuple_has_no_ports(self):
+        frame = next(iter(ping_flood(SERVICE_IP, CLIENT_IP, count=1)))
+        key = five_tuple_key(frame.data)
+        assert key[-4:] == b"\x00\x00\x00\x00"
+
+    def test_runt_frame_yields_none(self):
+        assert flow_key(bytearray()) is None
+
+
+class TestBalancerService:
+    def build(self, num_shards=4):
+        return ShardBalancerService(
+            {"shard%d" % i: 1 + i for i in range(num_shards)},
+            uplink_port=0)
+
+    def test_request_goes_to_exactly_one_shard_port(self):
+        balancer = self.build()
+        frame = mix(1)[0]
+        dataplane = balancer.process(NetFPGAData(frame))
+        ports = [p for p in range(5) if dataplane.dst_ports & (1 << p)]
+        assert len(ports) == 1
+        assert ports[0] in (1, 2, 3, 4)
+
+    def test_same_key_always_same_port(self):
+        balancer = self.build()
+        frames = mix(200)
+        port_by_key = {}
+        for frame in frames:
+            dataplane = balancer.process(NetFPGAData(frame))
+            key = memcached_key(frame.data)
+            port_by_key.setdefault(key, set()).add(dataplane.dst_ports)
+        assert all(len(ports) == 1 for ports in port_by_key.values())
+
+    def test_reply_path_forwards_to_uplink(self):
+        balancer = self.build()
+        reply = mix(1)[0]
+        reply.src_port = 2                      # arrived from a shard
+        dataplane = balancer.process(NetFPGAData(reply))
+        assert dataplane.dst_ports == 1         # uplink port 0
+        assert balancer.replies_forwarded == 1
+
+    def test_dispatch_counters_spread(self):
+        balancer = self.build(num_shards=8)
+        for frame in mix(1000):
+            balancer.process(NetFPGAData(frame))
+        assert sum(balancer.dispatched.values()) == 1000
+        assert balancer.dispatch_imbalance() <= 1.35
+
+    def test_unparseable_frame_dropped(self):
+        balancer = ShardBalancerService({"s0": 1})
+        dataplane = balancer.process(NetFPGAData(Frame(b"")))
+        assert dataplane.dropped
+        assert balancer.unroutable == 1
+
+    def test_uplink_port_collision_rejected(self):
+        with pytest.raises(ClusterError):
+            ShardBalancerService({"s0": 0}, uplink_port=0)
+
+    def test_runs_on_fpga_target(self):
+        """The balancer is a service like any other: it runs as the
+        main logical core with a measurable cycle count."""
+        balancer = self.build()
+        target = FpgaTarget(balancer, num_ports=5)
+        emitted, latency_ns = target.send(mix(1)[0])
+        assert len(emitted) == 1
+        assert emitted[0][0] in (1, 2, 3, 4)
+        assert latency_ns > 0
+
+    def test_external_ring_is_honoured(self):
+        ring = HashRing(["a", "b"])
+        balancer = ShardBalancerService({"a": 1, "b": 2}, ring=ring)
+        frame = mix(1)[0]
+        expected = ring.lookup(memcached_key(frame.data))
+        dataplane = balancer.process(NetFPGAData(frame))
+        assert dataplane.dst_ports == \
+            1 << balancer.shard_ports[expected]

@@ -1,0 +1,81 @@
+"""The consistent-hash ring: stability, spread, and remap cost."""
+
+import pytest
+
+from repro.cluster.ring import HashRing, ring_position
+from repro.errors import ClusterError
+
+KEYS = [("k%05d" % index).encode() for index in range(1024)]
+
+
+class TestRingBasics:
+    def test_lookup_is_deterministic(self):
+        ring = HashRing(["a", "b", "c"])
+        again = HashRing(["a", "b", "c"])
+        assert [ring.lookup(k) for k in KEYS] == \
+            [again.lookup(k) for k in KEYS]
+
+    def test_membership_order_does_not_matter(self):
+        forward = HashRing(["a", "b", "c"])
+        backward = HashRing(["c", "b", "a"])
+        assert [forward.lookup(k) for k in KEYS] == \
+            [backward.lookup(k) for k in KEYS]
+
+    def test_every_shard_owns_keys(self):
+        ring = HashRing(["s%d" % i for i in range(8)])
+        counts = ring.load_counts(KEYS)
+        assert len(counts) == 8
+        assert all(count > 0 for count in counts.values())
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(["only"])
+        assert ring.load_counts(KEYS) == {"only": 1024}
+
+    def test_empty_ring_rejects_lookup(self):
+        with pytest.raises(ClusterError):
+            HashRing().lookup(b"key")
+
+    def test_duplicate_shard_rejected(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ClusterError):
+            ring.add_shard("a")
+
+    def test_remove_unknown_shard_rejected(self):
+        with pytest.raises(ClusterError):
+            HashRing(["a"]).remove_shard("b")
+
+    def test_position_accepts_str_and_bytes(self):
+        assert ring_position("key") == ring_position(b"key")
+
+
+class TestRingQuality:
+    @pytest.mark.parametrize("num_shards", [4, 8, 16])
+    def test_load_imbalance_bounded(self, num_shards):
+        """Virtual nodes keep max/mean load within the §acceptance bound."""
+        ring = HashRing(["shard%d" % i for i in range(num_shards)])
+        assert ring.imbalance(KEYS) <= 1.35
+
+    def test_removal_only_remaps_departed_keys(self):
+        """The consistent-hashing contract: removing one of N shards
+        moves exactly the keys the departed shard owned (~1/N), and
+        every moved key belonged to it."""
+        before = HashRing(["shard%d" % i for i in range(8)])
+        after = HashRing(["shard%d" % i for i in range(8)])
+        after.remove_shard("shard3")
+
+        stats = before.remap_stats(after, KEYS)
+        owned = before.load_counts(KEYS)["shard3"]
+        assert stats.moved == owned
+        assert stats.fraction < 0.25
+        for key in KEYS:
+            if before.lookup(key) != after.lookup(key):
+                assert before.lookup(key) == "shard3"
+
+    def test_addition_only_steals_keys(self):
+        """Adding a shard never moves a key between existing shards."""
+        before = HashRing(["shard%d" % i for i in range(8)])
+        after = HashRing(["shard%d" % i for i in range(8)])
+        after.add_shard("shard8")
+        for key in KEYS:
+            if before.lookup(key) != after.lookup(key):
+                assert after.lookup(key) == "shard8"

@@ -1,0 +1,70 @@
+"""Workload generators: determinism, framing, and mix ratios (§5.2)."""
+
+import pytest
+
+from repro.cluster.replication import memcached_is_write
+from repro.net.packet import MIN_FRAME_BYTES, ip_to_int
+from repro.net.workloads import (
+    dns_query_stream, memaslap_mix, ping_flood, tcp_syn_stream,
+)
+
+SERVICE_IP = ip_to_int("10.0.0.1")
+CLIENT_IP = ip_to_int("10.0.0.2")
+DNS_NAMES = ["host%02d.example" % index for index in range(16)]
+
+
+def generators(count):
+    return {
+        "ping": ping_flood(SERVICE_IP, CLIENT_IP, count=count),
+        "syn": tcp_syn_stream(SERVICE_IP, CLIENT_IP, count=count),
+        "dns": dns_query_stream(SERVICE_IP, CLIENT_IP, DNS_NAMES,
+                                count=count, miss_ratio=0.1),
+        "memaslap": memaslap_mix(SERVICE_IP, CLIENT_IP, count=count),
+    }
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["ping", "syn", "dns", "memaslap"])
+    def test_fixed_seed_reproduces_byte_identical_streams(self, name):
+        first = [bytes(f.data) for f in generators(50)[name]]
+        second = [bytes(f.data) for f in generators(50)[name]]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        base = [bytes(f.data) for f in
+                memaslap_mix(SERVICE_IP, CLIENT_IP, count=50, seed=13)]
+        other = [bytes(f.data) for f in
+                 memaslap_mix(SERVICE_IP, CLIENT_IP, count=50, seed=14)]
+        assert base != other
+
+
+class TestFraming:
+    @pytest.mark.parametrize("name", ["ping", "syn", "dns", "memaslap"])
+    def test_every_frame_meets_the_ethernet_minimum(self, name):
+        for frame in generators(200)[name]:
+            assert len(frame.data) >= MIN_FRAME_BYTES
+
+    def test_requested_count_is_honoured(self):
+        for name, stream in generators(37).items():
+            assert sum(1 for _ in stream) == 37, name
+
+
+class TestMemaslapMix:
+    def test_get_set_ratio_within_tolerance(self):
+        """The memaslap configuration: 90% GET / 10% SET."""
+        frames = list(memaslap_mix(SERVICE_IP, CLIENT_IP, count=5000))
+        sets = sum(1 for frame in frames if memcached_is_write(frame))
+        set_ratio = sets / len(frames)
+        assert set_ratio == pytest.approx(0.1, abs=0.02)
+
+    def test_custom_ratio_respected(self):
+        frames = list(memaslap_mix(SERVICE_IP, CLIENT_IP, count=5000,
+                                   get_ratio=0.5))
+        sets = sum(1 for frame in frames if memcached_is_write(frame))
+        assert sets / len(frames) == pytest.approx(0.5, abs=0.03)
+
+    def test_binary_protocol_mix_parses(self):
+        frames = list(memaslap_mix(SERVICE_IP, CLIENT_IP, count=500,
+                                   protocol="binary"))
+        sets = sum(1 for frame in frames if memcached_is_write(frame))
+        assert 0 < sets < len(frames)

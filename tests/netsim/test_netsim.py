@@ -44,6 +44,27 @@ class TestEventLoop:
         assert log == [1]
         assert loop.pending == 1
 
+    def test_event_cap_is_per_call_not_cumulative(self):
+        """Regression: a second run() must not count the first run's
+        events against its own cap."""
+        loop = EventLoop()
+        for delay in range(1, 31):
+            loop.schedule(delay, lambda: None)
+        loop.run(max_events=40)
+        for delay in range(1, 31):
+            loop.schedule(delay, lambda: None)
+        loop.run(max_events=40)         # 60 lifetime events: must not raise
+        assert loop.events_run == 60    # lifetime stat still cumulative
+
+    def test_event_cap_still_catches_livelock(self):
+        loop = EventLoop()
+
+        def respawn():
+            loop.schedule(1, respawn)
+        loop.schedule(1, respawn)
+        with pytest.raises(NetSimError):
+            loop.run(max_events=100)
+
 
 class TestSwitchedNetwork:
     def build(self):
