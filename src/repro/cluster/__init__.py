@@ -5,6 +5,8 @@ services across *many* devices.  The pieces:
 
 * :mod:`repro.cluster.ring`        — consistent-hash ring (virtual
   nodes, shard add/remove, remap statistics).
+* :mod:`repro.cluster.health`      — failure detectors (φ-accrual and
+  miss-count) behind the self-healing paths.
 * :mod:`repro.cluster.replication` — pluggable write-replication
   policies plus per-service write classifiers.
 * :mod:`repro.cluster.balancer`    — the L4 load balancer, itself an
@@ -24,19 +26,23 @@ classifier.
 from repro.cluster.balancer import (
     ShardBalancerService, five_tuple_key, flow_key, memcached_key,
 )
+from repro.cluster.health import (
+    MissCountDetector, PhiAccrualDetector,
+)
 from repro.cluster.replication import (
     NoReplication, PrimaryReplica, ReadOneWriteAll, ReplicationPolicy,
     memcached_is_write,
 )
 from repro.cluster.ring import HashRing, RemapStats, ring_position
-from repro.cluster.target import ClusterTarget
+from repro.cluster.target import REQUEST_TIMEOUT_NS, ClusterTarget
 from repro.cluster.topology import (
     ClusterNetwork, build_leaf_spine, build_star,
 )
 
 __all__ = [
-    "ClusterNetwork", "ClusterTarget", "HashRing", "NoReplication",
-    "PrimaryReplica", "ReadOneWriteAll", "RemapStats",
+    "ClusterNetwork", "ClusterTarget", "HashRing", "MissCountDetector",
+    "NoReplication", "PhiAccrualDetector", "PrimaryReplica",
+    "REQUEST_TIMEOUT_NS", "ReadOneWriteAll", "RemapStats",
     "ReplicationPolicy", "ShardBalancerService", "build_leaf_spine",
     "build_star", "five_tuple_key", "flow_key", "memcached_is_write",
     "memcached_key", "ring_position",

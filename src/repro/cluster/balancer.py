@@ -27,6 +27,7 @@ from repro.core.protocols.memcached import (
     split_udp_frame,
 )
 from repro.core.protocols.udp import UDPWrapper
+from repro.cluster.health import DEFAULT_PHI_THRESHOLD, PhiAccrualDetector
 from repro.cluster.ring import DEFAULT_VNODES, HashRing, max_over_mean
 from repro.errors import ClusterError, ParseError
 from repro.kiwi.runtime import pause
@@ -34,6 +35,12 @@ from repro.services.base import EmuService
 from repro.utils.bitutil import BitUtil
 
 MEMCACHED_PORT = 11211
+
+#: Fixed header-parse cycles before the hash walk begins (ethernet +
+#: IPv4 + UDP field extraction in the request pipeline).
+PARSE_CYCLES = 12
+#: Consistent-hash ring lookup once the digest is ready (BRAM walk).
+LOOKUP_CYCLES = 4
 
 
 def memcached_key(buf):
@@ -88,7 +95,8 @@ class ShardBalancerService(EmuService):
     name = "shard-balancer"
 
     def __init__(self, shard_ports, uplink_port=0, ring=None,
-                 vnodes=DEFAULT_VNODES, key_fn=flow_key):
+                 vnodes=DEFAULT_VNODES, key_fn=flow_key,
+                 phi_threshold=DEFAULT_PHI_THRESHOLD):
         """*shard_ports* maps shard id → output port (a list of ports
         auto-names shards ``shard0..N-1``)."""
         if not isinstance(shard_ports, dict):
@@ -107,11 +115,27 @@ class ShardBalancerService(EmuService):
         self.dispatched = {shard: 0 for shard in self.shard_ports}
         self.replies_forwarded = 0
         self.unroutable = 0
+        # -- health: every shard reply doubles as a heartbeat ------------
+        self._shard_by_port = {port: shard
+                               for shard, port in self.shard_ports.items()}
+        self.health = {shard: PhiAccrualDetector(threshold=phi_threshold)
+                       for shard in self.shard_ports}
+        self.down = set()               # shards evicted from the ring
+        #: Control-plane clock (callable → now_ns); set by the netsim
+        #: wiring so heartbeats can be timestamped.  Without a clock the
+        #: balancer routes but never suspects anyone.
+        self.clock = None
+        self.evictions = 0
+        self.restores = 0
 
     def on_frame(self, dataplane):
         if dataplane.src_port != self.uplink_port:
-            # Reply path: anything from a shard goes back up.
+            # Reply path: anything from a shard goes back up — and is a
+            # free heartbeat for the failure detector.
             self.replies_forwarded += 1
+            shard = self._shard_by_port.get(dataplane.src_port)
+            if shard is not None and self.clock is not None:
+                self.health[shard].heartbeat(self.clock())
             NetFPGA.set_output_port(dataplane, self.uplink_port)
             return
         key = self.key_fn(dataplane.tdata)
@@ -130,9 +154,81 @@ class ShardBalancerService(EmuService):
         self.dispatched[shard] += 1
         NetFPGA.set_output_port(dataplane, port)
 
+    # -- health-driven membership -------------------------------------------
+
+    def check_health(self, now_ns=None):
+        """Evict every shard whose φ crossed the threshold at *now_ns*.
+
+        Suspicion is judged at the moment the *most recently heard*
+        shard last spoke, not at ``now_ns`` raw: silence is only
+        evidence of death while someone else is still talking.  An
+        idle cluster (workload drained, every shard quiet) therefore
+        never evicts anyone — heartbeats here are reply-driven, and
+        idle is not dead.
+
+        Returns the shards evicted by this check.  The last live shard
+        is never evicted (an empty ring would make every key
+        unroutable, which is strictly worse than routing into a
+        suspected partition).
+        """
+        if now_ns is None:
+            if self.clock is None:
+                raise ClusterError("check_health needs a clock or now_ns")
+            now_ns = self.clock()
+        heard = [detector.last_heartbeat_ns
+                 for detector in self.health.values()
+                 if detector.heartbeats_seen]
+        reference = min(now_ns, max(heard)) if heard else now_ns
+        evicted = []
+        for shard in self.shard_ports:
+            if shard in self.down or len(self.ring) <= 1:
+                continue
+            if self.health[shard].is_suspect(reference):
+                self.mark_down(shard)
+                evicted.append(shard)
+        return evicted
+
+    def mark_down(self, shard):
+        """Evict *shard* from the ring; its keys fall to the survivors."""
+        if shard not in self.shard_ports:
+            raise ClusterError("no shard %r" % (shard,))
+        if shard in self.down:
+            return
+        if len(self.ring) <= 1:
+            raise ClusterError("cannot evict the last live shard")
+        self.ring.remove_shard(shard)
+        self.down.add(shard)
+        self.evictions += 1
+
+    def mark_up(self, shard):
+        """Re-admit a recovered shard.  Its detector history is
+        discarded — with no heartbeats φ stays 0, so stale silence
+        cannot instantly re-evict it, and no synthetic heartbeat is
+        injected (that would make the restored shard look like live
+        traffic and re-arm suspicion of genuinely idle peers)."""
+        if shard not in self.shard_ports:
+            raise ClusterError("no shard %r" % (shard,))
+        if shard not in self.down:
+            return
+        self.ring.add_shard(shard)
+        self.down.discard(shard)
+        self.health[shard].reset()
+        self.restores += 1
+
+    # -- cycle model ---------------------------------------------------------
+
     def datapath_extra_cycles(self, frame):
-        """Byte-serial Pearson walk over the flow key (≤ header + key)."""
-        return 16
+        """Byte-serial Pearson walk over the flow key.
+
+        The multi-lane hash (one lane per digest byte) runs its lanes
+        in parallel in hardware, so the walk costs one cycle per key
+        byte, bracketed by a fixed header parse and the ring lookup.
+        A frame with no routable key still pays the parse that
+        discovered that.
+        """
+        key = self.key_fn(frame.data)
+        key_bytes = len(key) if key is not None else 0
+        return PARSE_CYCLES + key_bytes + LOOKUP_CYCLES
 
     def dispatch_imbalance(self):
         """Max/mean dispatch count across shards (1.0 = perfectly even)."""

@@ -15,10 +15,15 @@ machinery, attribute chasing) is amortized across each shard's run.
 """
 
 from repro.cluster.balancer import flow_key
+from repro.cluster.health import MissCountDetector
 from repro.cluster.replication import NoReplication
 from repro.cluster.ring import DEFAULT_VNODES, HashRing, max_over_mean
 from repro.errors import ClusterError
 from repro.targets.fpga import FpgaTarget, line_rate_pps
+
+#: Client-side timeout charged per request attempt that a crashed
+#: shard never answered — the probe interval of the failure detector.
+REQUEST_TIMEOUT_NS = 50_000.0
 
 
 class ClusterTarget:
@@ -26,7 +31,7 @@ class ClusterTarget:
 
     def __init__(self, service_factory, num_shards=8, policy=None,
                  is_write=None, key_fn=flow_key, vnodes=DEFAULT_VNODES,
-                 seed=1):
+                 seed=1, suspect_after=3):
         if num_shards < 1:
             raise ClusterError("need at least one shard")
         self._factory = service_factory
@@ -39,12 +44,21 @@ class ClusterTarget:
         self._next_shard = 0
         self._shard_order = []         # sorted ids + index, cached for
         self._shard_index = {}         # the per-write replica planner
+        # Failure handling.
+        self.suspect_after = suspect_after
+        self._down = set()             # crashed, not yet evicted
+        self.failed_shards = {}        # shard_id -> evicted FpgaTarget
+        self.detectors = {}            # shard_id -> MissCountDetector
         # Stats.
         self.requests = 0
         self.writes = 0
         self.replica_applies = 0
         self.batches = 0
         self.shard_loads = {}
+        self.failed_requests = 0       # attempts a dead shard ate
+        self.failovers = 0
+        self.rejoins = 0
+        self.handoff_replays = 0       # queued writes promoted on evict
         self._pending = []             # queued async replica applies
         for _ in range(num_shards):
             self.add_shard()
@@ -59,6 +73,12 @@ class ClusterTarget:
     def shard_ids(self):
         return self.ring.shards
 
+    @property
+    def live_shards(self):
+        """Shard ids answering requests (in the ring and not crashed)."""
+        return [shard_id for shard_id in self.ring.shards
+                if shard_id not in self._down]
+
     def add_shard(self):
         """Bring up a new shard device and join it to the ring."""
         shard_number = self._next_shard
@@ -71,6 +91,7 @@ class ClusterTarget:
             seed=self._seed + shard_number)
         self.ring.add_shard(shard_id)
         self.shard_loads[shard_id] = 0
+        self.detectors[shard_id] = MissCountDetector(self.suspect_after)
         self._reindex()
         return shard_id
 
@@ -94,12 +115,13 @@ class ClusterTarget:
         """
         if shard_id not in self.shards:
             raise ClusterError("no shard %r" % (shard_id,))
+        if shard_id in self._down:
+            raise ClusterError("shard %r has crashed; evict_shard() "
+                               "fails it over instead" % (shard_id,))
         if len(self.shards) == 1:
             raise ClusterError("cannot remove the last shard")
         if sample_keys is None:
-            sample_keys = [key for shard in self.shards.values()
-                           for key in getattr(shard.service, "_store",
-                                              ())]
+            sample_keys = self._stored_keys()
         before = self.ring
         departing = self.shards.pop(shard_id)
         self.ring = HashRing(before.shards, vnodes=before.vnodes)
@@ -109,16 +131,146 @@ class ClusterTarget:
 
         store = getattr(departing.service, "_store", None)
         if store:
-            for key, entry in store.items():
-                if before.lookup(key) != shard_id:
-                    continue     # a replica copy; the owner's is fresher
-                owner = self.ring.lookup(key)
-                service = self.shards[owner].service
-                if hasattr(service, "store_set"):
+            self._rehome_entries(store, before, shard_id)
+
+        return before.remap_stats(self.ring, sample_keys) \
+            if sample_keys else None
+
+    def _stored_keys(self):
+        """Every key stored on any live shard (the default remap
+        sample, so fractions reflect the whole key population)."""
+        return [key for shard in self.shards.values()
+                for key in getattr(shard.service, "_store", ())]
+
+    def _rehome_entries(self, store, before, departed_id):
+        """Re-apply *store*'s entries that ring *before* assigned to
+        *departed_id* onto their new ring owners (duck-typed through
+        the ``store_set`` shape); returns how many moved."""
+        moved = 0
+        for key, entry in list(store.items()):
+            if before.lookup(key) != departed_id:
+                continue     # a replica copy; the owner's is fresher
+            owner = self.ring.lookup(key)
+            service = self.shards[owner].service
+            if hasattr(service, "store_set"):
+                value, flags = entry if isinstance(entry, tuple) \
+                    else (entry, 0)
+                service.store_set(key, value, flags)
+                moved += 1
+        return moved
+
+    # -- failure handling ---------------------------------------------------
+
+    def kill_shard(self, shard_id):
+        """Crash a shard: it stops answering but stays in the ring
+        until the failure detector evicts it (no graceful drain — the
+        difference between this and :meth:`remove_shard` is the whole
+        point of the fault model)."""
+        if shard_id not in self.shards:
+            raise ClusterError("no shard %r" % (shard_id,))
+        if len(self.shards) - len(self._down) <= 1:
+            raise ClusterError("cannot kill the last live shard")
+        self._down.add(shard_id)
+
+    def evict_shard(self, shard_id):
+        """Fail a crashed shard out of the ring (failover).
+
+        Three steps, in order:
+
+        1. the ring drops the shard, so its keys fall to their
+           clockwise successors;
+        2. queued (hinted) replica writes are replayed: any write whose
+           primary was the dead shard exists only in the queue, so it
+           is promoted onto the key's new ring owner — this is what
+           makes "no acknowledged write lost" hold under
+           :class:`~repro.cluster.replication.PrimaryReplica`;
+        3. replica copies already applied on survivors are re-homed to
+           the new ring owners, so post-failover reads hit.
+        """
+        if shard_id not in self.shards:
+            raise ClusterError("no shard %r" % (shard_id,))
+        if len(self.shards) == 1:
+            raise ClusterError("cannot evict the last shard")
+        before = self.ring
+        self.failed_shards[shard_id] = self.shards.pop(shard_id)
+        self._down.discard(shard_id)
+        self.ring = HashRing(before.shards, vnodes=before.vnodes)
+        self.ring.remove_shard(shard_id)
+        self.shard_loads.pop(shard_id, None)
+        self._reindex()
+
+        # Hinted handoff: a queued write whose primary just died is the
+        # only surviving copy of an acknowledged write — promote it to
+        # the key's new ring owner now.  Hints owed *to* the dead shard
+        # need no work here: they resolve to the live successor at
+        # flush time.
+        pending, self._pending = self._pending, []
+        for owner_id, offset, frame in pending:
+            if owner_id == shard_id:
+                key = self.key_fn(frame.data)
+                if key is not None:
+                    self._apply_one(self.ring.lookup(key), frame)
+                    self.handoff_replays += 1
+            else:
+                self._pending.append((owner_id, offset, frame))
+
+        # Promote replica copies that were already applied: entries the
+        # dead shard owned live on its replicas; re-home them.
+        for survivor in list(self.shards.values()):
+            store = getattr(survivor.service, "_store", None)
+            if store:
+                self._rehome_entries(store, before, shard_id)
+        self.failovers += 1
+
+    def restore_shard(self, shard_id, sample_keys=None):
+        """Rejoin a crashed shard after repair.
+
+        A crash loses soft state, so the shard comes back empty and is
+        warmed with the keys the new ring assigns it *before* traffic
+        shifts — no acknowledged write is lost and only ~1/N of keys
+        remap (the bounded-rejoin guarantee).  Stale copies left on the
+        previous owners are shadowed by the ring, not deleted — cache
+        semantics.  Returns :class:`~repro.cluster.ring.RemapStats`
+        over *sample_keys* (default: every stored key), or ``None`` for
+        a shard that was killed but never evicted.
+        """
+        if shard_id in self._down:
+            # Killed but the detector never fired: it simply answers
+            # again (its store never went anywhere).
+            self._down.discard(shard_id)
+            self.detectors[shard_id].reset()
+            return None
+        if shard_id not in self.failed_shards:
+            raise ClusterError("shard %r is not failed" % (shard_id,))
+        target = self.failed_shards.pop(shard_id)
+        target.service.reset()
+        if sample_keys is None:
+            sample_keys = self._stored_keys()
+        before = self.ring
+        self.ring = HashRing(before.shards, vnodes=before.vnodes)
+        self.ring.add_shard(shard_id)
+        self.shards[shard_id] = target
+        self.shard_loads[shard_id] = 0
+        self.detectors[shard_id].reset()
+        self._reindex()
+
+        # Warm the rejoining shard with the keys it now owns, pulled
+        # from their pre-rejoin owners.
+        service = target.service
+        if hasattr(service, "store_set"):
+            for owner_id, node in self.shards.items():
+                if owner_id == shard_id:
+                    continue
+                store = getattr(node.service, "_store", None)
+                if not store:
+                    continue
+                for key, entry in list(store.items()):
+                    if self.ring.lookup(key) != shard_id:
+                        continue
                     value, flags = entry if isinstance(entry, tuple) \
                         else (entry, 0)
                     service.store_set(key, value, flags)
-
+        self.rejoins += 1
         return before.remap_stats(self.ring, sample_keys) \
             if sample_keys else None
 
@@ -136,11 +288,15 @@ class ClusterTarget:
         replicas = self.policy.replica_indices(owner_index,
                                                len(shard_ids))
         for index in replicas:
-            replica_id = shard_ids[index]
             if self.policy.synchronous_apply:
-                self._apply_one(replica_id, frame)
+                self._apply_one(shard_ids[index], frame)
             else:
-                self._pending.append((replica_id, frame.copy()))
+                # Queue a *hint* — (owner, replica offset), resolved to
+                # a concrete shard only at flush time, so membership
+                # changes between enqueue and flush retarget the apply
+                # instead of orphaning it.
+                offset = (index - owner_index) % len(shard_ids)
+                self._pending.append((owner_id, offset, frame.copy()))
 
     def _apply_one(self, shard_id, frame):
         """Replica apply: store update only, no latency recording."""
@@ -150,17 +306,36 @@ class ClusterTarget:
         self.replica_applies += 1
 
     def send(self, frame):
-        """Route one request to its shard; returns (emitted, latency_ns)."""
+        """Route one request to its shard; returns (emitted, latency_ns).
+
+        A request routed to a crashed shard times out — ``([], None)``,
+        never acknowledged — and feeds that shard's failure detector;
+        when the detector trips, the shard is failed over
+        (:meth:`evict_shard`) so subsequent requests for its keys reach
+        the promoted owner.
+        """
         owner = self._owner(frame)
+        if owner in self._down:
+            return self._send_timed_out(frame, owner)
         self.requests += 1
         self.shard_loads[owner] += 1
         local = frame.copy()
         local.src_port = 0
         result = self.shards[owner].send(local)
+        self.detectors[owner].record_ok()
         if self._is_write(frame):
             self.writes += 1
             self._apply_replicas(frame, owner)
         return result
+
+    def _send_timed_out(self, frame, owner):
+        """A request hit a crashed shard: count the timeout, feed the
+        detector, and fail over once the miss streak trips it."""
+        self.requests += 1
+        self.failed_requests += 1
+        if self.detectors[owner].record_miss():
+            self.evict_shard(owner)
+        return [], None
 
     def send_batch(self, frames):
         """Dispatch a frame list, grouped by shard, preserving order.
@@ -181,12 +356,24 @@ class ClusterTarget:
         results = [None] * len(frames)
         is_write = self._is_write
         for owner, batch in by_shard.items():
+            if owner in self._down or owner not in self.shards:
+                # Fault path: per-frame dispatch, so the failure
+                # detector sees the same miss sequence as sequential
+                # send() and re-routes the rest after failover.
+                # (Consistent hashing keeps every *other* group's
+                # owner valid: eviction only moves the dead shard's
+                # keys.)
+                for position, frame in batch:
+                    results[position] = self.send(frame)
+                continue
             shard_send = self.shards[owner].send
+            detector = self.detectors[owner]
             writes = []
             for position, frame in batch:
                 local = frame.copy()
                 local.src_port = 0
                 results[position] = shard_send(local)
+                detector.record_ok()
                 if is_write(frame):
                     writes.append(frame)
             self.requests += len(batch)
@@ -198,12 +385,26 @@ class ClusterTarget:
         return results
 
     def flush_replication(self):
-        """Apply queued async replica writes; returns how many ran."""
+        """Apply queued async replica writes; returns how many ran.
+
+        Each queued hint is resolved against the *current* shard order:
+        a replica slot whose shard has since died lands on the live
+        successor, and a hint whose owner has left the cluster is
+        dropped (its data was promoted during the eviction or migrated
+        by the graceful drain).
+        """
         pending, self._pending = self._pending, []
-        for shard_id, frame in pending:
-            if shard_id in self.shards:        # shard may have left
-                self._apply_one(shard_id, frame)
-        return len(pending)
+        order = self._shard_order
+        applied = 0
+        for owner_id, offset, frame in pending:
+            owner_index = self._shard_index.get(owner_id)
+            if owner_index is None:
+                continue
+            replica_id = order[(owner_index + offset) % len(order)]
+            if replica_id != owner_id:         # cluster may have shrunk
+                self._apply_one(replica_id, frame)
+                applied += 1
+        return applied
 
     @property
     def pending_replication(self):

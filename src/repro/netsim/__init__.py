@@ -9,12 +9,19 @@ frames hosts exchange.
 * :mod:`repro.netsim.sim`      — the event loop (time in ns).
 * :mod:`repro.netsim.node`     — hosts and service nodes.
 * :mod:`repro.netsim.link`     — links with latency + bandwidth.
+* :mod:`repro.netsim.faults`   — fault injection: lossy links, timed
+  kill/partition/restore scripts.
 * :mod:`repro.netsim.topology` — the network builder.
 """
 
 from repro.netsim.sim import EventLoop
 from repro.netsim.node import Host, ServiceNode
 from repro.netsim.link import Link
+from repro.netsim.faults import (
+    FaultInjector, FaultPlan, FaultyLink, schedule_health_checks,
+)
 from repro.netsim.topology import Network
 
-__all__ = ["EventLoop", "Host", "ServiceNode", "Link", "Network"]
+__all__ = ["EventLoop", "FaultInjector", "FaultPlan", "FaultyLink",
+           "Host", "Link", "Network", "ServiceNode",
+           "schedule_health_checks"]

@@ -1,4 +1,11 @@
-"""Point-to-point links with latency and bandwidth."""
+"""Point-to-point links with latency and bandwidth.
+
+:class:`Link` is the ideal wire; :class:`~repro.netsim.faults.FaultyLink`
+subclasses it through two hooks — :meth:`Link._prepare` (may drop or
+mutate the in-flight copy) and :meth:`Link._jitter_ns` (extra one-way
+delay) — so the fault layer never re-implements the serialization or
+delivery mechanics.
+"""
 
 from repro.errors import NetSimError
 
@@ -23,6 +30,18 @@ class Link:
         self._ends.append((node, port))
         node.attach_link(port, self)
 
+    # -- fault hooks (overridden by FaultyLink) -----------------------------
+
+    def _prepare(self, frame):
+        """The in-flight copy of *frame*, or ``None`` to lose it."""
+        return frame.copy()
+
+    def _jitter_ns(self):
+        """Extra one-way delay added to this transmission."""
+        return 0
+
+    # -- transmission -------------------------------------------------------
+
     def send(self, from_node, frame):
         """Transmit *frame* from one endpoint to the other."""
         if len(self._ends) != 2:
@@ -35,14 +54,19 @@ class Link:
             raise NetSimError("node %r is not on this link" % from_node)
         peer, peer_port = self._ends[1 - direction]
 
+        # The sender always occupies the wire, even if the frame is
+        # then lost: serialization happens at the transmitting NIC.
         serialization_ns = 8e9 * len(frame.data) / self.bandwidth_bps
         start = max(self.loop.now_ns, self._busy_until[direction])
         done = start + serialization_ns
         self._busy_until[direction] = done
-        arrival_delay = (done - self.loop.now_ns) + self.latency_ns
         self.frames_carried += 1
 
-        delivered = frame.copy()
+        delivered = self._prepare(frame)
+        if delivered is None:
+            return
+        arrival_delay = (done - self.loop.now_ns) + self.latency_ns + \
+            self._jitter_ns()
         delivered.src_port = peer_port
 
         def deliver():

@@ -1,6 +1,7 @@
 """Network builder: the Mininet-style topology API."""
 
 from repro.errors import NetSimError
+from repro.netsim.faults import FaultyLink
 from repro.netsim.link import Link
 from repro.netsim.node import Host, ServiceNode
 from repro.netsim.sim import EventLoop
@@ -27,11 +28,21 @@ class Network:
         return node
 
     def connect(self, a, a_port, b, b_port, latency_ns=1000,
-                bandwidth_bps=10_000_000_000):
-        """Link node *a* port *a_port* to node *b* port *b_port*."""
+                bandwidth_bps=10_000_000_000, faults=None):
+        """Link node *a* port *a_port* to node *b* port *b_port*.
+
+        *faults* is ``None`` for an ideal :class:`Link`, or a (possibly
+        empty) dict of :class:`~repro.netsim.faults.FaultyLink` kwargs
+        (``loss_rate``, ``corrupt_rate``, ``jitter_ns``, ``seed``) for
+        a wire that can be impaired or partitioned.
+        """
         node_a = self._resolve(a)
         node_b = self._resolve(b)
-        link = Link(self.loop, latency_ns, bandwidth_bps)
+        if faults is None:
+            link = Link(self.loop, latency_ns, bandwidth_bps)
+        else:
+            link = FaultyLink(self.loop, latency_ns, bandwidth_bps,
+                              **faults)
         link.attach(node_a, a_port)
         link.attach(node_b, b_port)
         self.links.append(link)

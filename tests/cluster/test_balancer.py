@@ -3,10 +3,15 @@
 import pytest
 
 from repro.cluster.balancer import (
-    ShardBalancerService, five_tuple_key, flow_key, memcached_key,
+    LOOKUP_CYCLES, PARSE_CYCLES, ShardBalancerService, five_tuple_key,
+    flow_key, memcached_key,
 )
 from repro.cluster.ring import HashRing
 from repro.core.dataplane import NetFPGAData
+from repro.core.protocols.memcached import (
+    build_ascii_get, build_udp_frame_header,
+)
+from repro.core.protocols.udp import build_udp
 from repro.errors import ClusterError
 from repro.net.packet import Frame, ip_to_int
 from repro.net.workloads import memaslap_mix, ping_flood, tcp_syn_stream
@@ -122,3 +127,53 @@ class TestBalancerService:
         dataplane = balancer.process(NetFPGAData(frame))
         assert dataplane.dst_ports == \
             1 << balancer.shard_ports[expected]
+
+
+class TestDatapathCycleModel:
+    """Regression for the ISSUE-2 fix: the byte-serial Pearson walk
+    must scale with the flow-key length, not return a constant."""
+
+    def build(self):
+        return ShardBalancerService({"s0": 1, "s1": 2})
+
+    def memcached_frame(self, key):
+        payload = build_udp_frame_header(0) + build_ascii_get(key)
+        return Frame(build_udp(0x02, 0x01, ip_to_int("10.0.0.2"),
+                               ip_to_int("10.0.0.1"), 40000, 11211,
+                               payload)).pad()
+
+    def test_pins_the_cycle_model_for_memcached_keys(self):
+        balancer = self.build()
+        for key_len in (1, 6, 32, 64, 128):
+            frame = self.memcached_frame(b"k" * key_len)
+            assert balancer.datapath_extra_cycles(frame) == \
+                PARSE_CYCLES + key_len + LOOKUP_CYCLES
+
+    def test_monotone_in_key_length(self):
+        balancer = self.build()
+        cycles = [balancer.datapath_extra_cycles(
+            self.memcached_frame(b"k" * key_len))
+            for key_len in range(1, 100, 7)]
+        assert cycles == sorted(cycles)
+        assert cycles[0] < cycles[-1]
+
+    def test_five_tuple_fallback_pays_thirteen_bytes(self):
+        balancer = self.build()
+        frame = next(iter(tcp_syn_stream(SERVICE_IP, CLIENT_IP,
+                                         count=1)))
+        assert balancer.datapath_extra_cycles(frame) == \
+            PARSE_CYCLES + 13 + LOOKUP_CYCLES
+
+    def test_unroutable_frame_pays_the_parse_only(self):
+        balancer = self.build()
+        assert balancer.datapath_extra_cycles(Frame(b"")) == \
+            PARSE_CYCLES + LOOKUP_CYCLES
+
+    def test_key_length_shows_up_in_fpga_latency(self):
+        """The model change is visible end to end: a longer key costs
+        measurably more cycles through the FPGA target."""
+        short_target = FpgaTarget(self.build(), num_ports=3, seed=1)
+        long_target = FpgaTarget(self.build(), num_ports=3, seed=1)
+        _, short_ns = short_target.send(self.memcached_frame(b"k"))
+        _, long_ns = long_target.send(self.memcached_frame(b"k" * 120))
+        assert long_ns > short_ns

@@ -1,0 +1,133 @@
+"""Randomized consistent-hashing invariants for :class:`HashRing`.
+
+The guarantees every self-healing path leans on (see tests/README.md
+for the seeding conventions):
+
+* **add monotonicity** — adding a shard only moves keys *to* the new
+  shard; no key moves between pre-existing shards;
+* **remove monotonicity** — removing shard S only moves keys *from* S;
+  every other key keeps its owner (this is why a mid-batch eviction
+  cannot disturb the other batch groups);
+* **construction stability** — rings built from the same shard set, in
+  any insertion order, agree on every lookup.
+"""
+
+import random
+
+from repro.cluster.ring import HashRing
+
+SEED = 0x51B6
+ROUNDS = 12
+KEYS_PER_ROUND = 300
+VNODES = 64           # smaller than production default: keeps the
+                      # randomized rounds fast without weakening the
+                      # invariants, which hold for any vnode count
+
+
+def rng_for(name):
+    return random.Random("%s/%s" % (SEED, name))
+
+
+def random_keys(rng, count=KEYS_PER_ROUND):
+    return [bytes(rng.getrandbits(8)
+                  for _ in range(rng.randint(1, 32)))
+            for _ in range(count)]
+
+
+def random_shards(rng, low=2, high=12):
+    count = rng.randint(low, high)
+    return ["shard%d" % index for index in range(count)]
+
+
+class TestAddMonotonicity:
+    def test_adding_moves_keys_only_to_the_new_shard(self):
+        rng = rng_for("add")
+        for round_index in range(ROUNDS):
+            shards = random_shards(rng)
+            keys = random_keys(rng)
+            ring = HashRing(shards, vnodes=VNODES)
+            before = ring.assignments(keys)
+            newcomer = "newcomer%d" % round_index
+            ring.add_shard(newcomer)
+            after = ring.assignments(keys)
+            for key in keys:
+                if before[key] != after[key]:
+                    assert after[key] == newcomer, \
+                        "key moved between pre-existing shards"
+
+    def test_adding_moves_roughly_its_share(self):
+        rng = rng_for("add-share")
+        shards = ["shard%d" % index for index in range(7)]
+        keys = random_keys(rng, 2000)
+        ring = HashRing(shards, vnodes=VNODES)
+        before = ring.assignments(keys)
+        ring.add_shard("shard7")
+        moved = sum(1 for key in keys
+                    if ring.lookup(key) != before[key])
+        # Expect ~1/8 of keys; allow generous slack for hash variance.
+        assert 0.04 < moved / len(keys) < 0.30
+
+
+class TestRemoveMonotonicity:
+    def test_removing_moves_keys_only_from_the_victim(self):
+        rng = rng_for("remove")
+        for _ in range(ROUNDS):
+            shards = random_shards(rng)
+            keys = random_keys(rng)
+            ring = HashRing(shards, vnodes=VNODES)
+            before = ring.assignments(keys)
+            victim = rng.choice(shards)
+            ring.remove_shard(victim)
+            after = ring.assignments(keys)
+            for key in keys:
+                if before[key] == victim:
+                    assert after[key] != victim
+                else:
+                    assert after[key] == before[key], \
+                        "a surviving shard's key moved"
+
+    def test_add_then_remove_is_identity(self):
+        rng = rng_for("add-remove")
+        for _ in range(ROUNDS):
+            shards = random_shards(rng)
+            keys = random_keys(rng)
+            ring = HashRing(shards, vnodes=VNODES)
+            before = ring.assignments(keys)
+            ring.add_shard("transient")
+            ring.remove_shard("transient")
+            assert ring.assignments(keys) == before
+
+
+class TestConstructionStability:
+    def test_insertion_order_is_irrelevant(self):
+        rng = rng_for("order")
+        for _ in range(ROUNDS):
+            shards = random_shards(rng)
+            keys = random_keys(rng)
+            shuffled = list(shards)
+            rng.shuffle(shuffled)
+            a = HashRing(shards, vnodes=VNODES)
+            b = HashRing(shuffled, vnodes=VNODES)
+            assert a.assignments(keys) == b.assignments(keys)
+
+    def test_identical_constructions_agree(self):
+        rng = rng_for("stable")
+        shards = random_shards(rng)
+        keys = random_keys(rng)
+        a = HashRing(shards, vnodes=VNODES)
+        b = HashRing(shards, vnodes=VNODES)
+        assert a.assignments(keys) == b.assignments(keys)
+
+    def test_remove_equals_fresh_construction(self):
+        """Removing S from a ring gives the exact ring built without S
+        — eviction and a cold start agree on every key."""
+        rng = rng_for("rebuild")
+        for _ in range(ROUNDS):
+            shards = random_shards(rng, low=3)
+            keys = random_keys(rng)
+            victim = rng.choice(shards)
+            ring = HashRing(shards, vnodes=VNODES)
+            ring.remove_shard(victim)
+            fresh = HashRing([shard for shard in shards
+                              if shard != victim], vnodes=VNODES)
+            assert ring.assignments(keys) == fresh.assignments(keys)

@@ -1,0 +1,190 @@
+"""The fault layer: FaultyLink impairments and FaultPlan scripting."""
+
+import pytest
+
+from repro.core.protocols.ipv4 import IPv4Wrapper, build_ipv4_frame
+from repro.errors import NetSimError
+from repro.net.packet import Frame
+from repro.netsim import FaultInjector, FaultPlan, FaultyLink, Network
+
+PAYLOAD = bytes(range(48))
+
+
+def build_net(**faults):
+    """host A — faulty link — host B."""
+    net = Network()
+    a = net.add_host("a")
+    b = net.add_host("b")
+    link = net.connect(a, 0, b, 0, latency_ns=1000, faults=faults)
+    return net, a, b, link
+
+
+def frames(count):
+    return [Frame(PAYLOAD).pad() for _ in range(count)]
+
+
+class TestFaultyLink:
+    def test_ideal_by_default(self):
+        net, a, b, link = build_net()
+        assert isinstance(link, FaultyLink)
+        for frame in frames(50):
+            a.send(frame)
+        net.run()
+        assert len(b.received) == 50
+        assert link.frames_lost == 0
+        assert link.frames_corrupted == 0
+
+    def test_plain_link_when_no_faults_requested(self):
+        net = Network()
+        a = net.add_host("a")
+        b = net.add_host("b")
+        link = net.connect(a, 0, b, 0)
+        assert not isinstance(link, FaultyLink)
+        a.send(Frame(PAYLOAD).pad())
+        net.run()
+        assert len(b.received) == 1
+
+    def test_loss_is_seeded_and_deterministic(self):
+        outcomes = []
+        for _ in range(2):
+            net, a, b, link = build_net(loss_rate=0.3, seed=7)
+            for frame in frames(200):
+                a.send(frame)
+            net.run()
+            outcomes.append((len(b.received), link.frames_lost))
+        assert outcomes[0] == outcomes[1]
+        delivered, lost = outcomes[0]
+        assert delivered + lost == 200
+        assert 20 < lost < 120          # ~30%, generous slack
+
+    def test_different_seeds_differ(self):
+        counts = set()
+        for seed in range(4):
+            net, a, b, link = build_net(loss_rate=0.5, seed=seed)
+            for frame in frames(100):
+                a.send(frame)
+            net.run()
+            counts.add(len(b.received))
+        assert len(counts) > 1
+
+    def test_partition_blocks_and_heals(self):
+        net, a, b, link = build_net()
+        link.take_down()
+        for frame in frames(5):
+            a.send(frame)
+        net.run()
+        assert b.received == []
+        assert link.frames_lost == 5
+        link.bring_up()
+        a.send(Frame(PAYLOAD).pad())
+        net.run()
+        assert len(b.received) == 1
+
+    def test_corruption_flips_exactly_one_bit(self):
+        net, a, b, link = build_net(corrupt_rate=1.0, seed=3)
+        original = Frame(PAYLOAD).pad()
+        a.send(original.copy())
+        net.run()
+        assert link.frames_corrupted == 1
+        (delivered,) = b.received
+        diff = [x ^ y for x, y in zip(delivered.data, original.data)]
+        flipped = sum(bin(byte).count("1") for byte in diff)
+        assert flipped == 1
+
+    def test_corruption_is_detectable_by_checksum(self):
+        """Flip bits in a checksummed IPv4 header region: the checksum
+        must catch it (single-bit flips are its design point)."""
+        wire = build_ipv4_frame(2, 1, 0x0A000001, 0x0A000002, 17,
+                                b"x" * 20)
+        caught = 0
+        for bit in range(14 * 8, 34 * 8):       # the IPv4 header bytes
+            mutated = bytearray(wire)
+            mutated[bit // 8] ^= 1 << (bit % 8)
+            if not IPv4Wrapper(mutated).checksum_ok():
+                caught += 1
+        assert caught == 20 * 8                 # every single-bit flip
+
+    def test_jitter_delays_but_preserves_delivery(self):
+        net, a, b, link = build_net(jitter_ns=5000, seed=11)
+        for frame in frames(20):
+            a.send(frame)
+        net.run()
+        assert len(b.received) == 20
+        stamps = [frame.timestamp_ns for frame in b.received]
+        assert min(stamps) >= 1000              # never below base latency
+        assert len(set(stamps)) > 1             # jitter actually varied
+
+    def test_sender_still_occupies_the_wire_on_loss(self):
+        """Serialization happens at the NIC whether or not the frame
+        survives the wire: loss must not create free bandwidth."""
+        net, a, b, link = build_net(loss_rate=1.0, seed=1)
+        busy_before = link._busy_until[:]
+        a.send(Frame(PAYLOAD).pad())
+        assert link._busy_until != busy_before
+
+    def test_rate_validation(self):
+        loop = Network().loop
+        with pytest.raises(NetSimError):
+            FaultyLink(loop, loss_rate=1.5)
+        with pytest.raises(NetSimError):
+            FaultyLink(loop, corrupt_rate=-0.1)
+        with pytest.raises(NetSimError):
+            FaultyLink(loop, jitter_ns=-1)
+
+
+class Target:
+    """Records the fault verbs a plan fires at it."""
+
+    def __init__(self):
+        self.calls = []
+
+    def kill_shard(self, shard_id):
+        self.calls.append(("kill", shard_id))
+
+    def restore_shard(self, shard_id):
+        self.calls.append(("restore", shard_id))
+
+    def partition(self, name):
+        self.calls.append(("partition", name))
+
+    def heal(self, name):
+        self.calls.append(("heal", name))
+
+
+class TestFaultPlan:
+    def test_events_fire_in_time_order(self):
+        plan = (FaultPlan()
+                .restore_shard(8, "s1")
+                .kill_shard(3, "s1")
+                .partition(5, "leaf0")
+                .heal(6, "leaf0"))
+        target = Target()
+        injector = FaultInjector(plan, target)
+        injector.advance_to(100)
+        assert target.calls == [("kill", "s1"), ("partition", "leaf0"),
+                                ("heal", "leaf0"), ("restore", "s1")]
+
+    def test_advance_fires_only_due_events(self):
+        plan = FaultPlan().kill_shard(3, "s1").restore_shard(8, "s1")
+        target = Target()
+        injector = FaultInjector(plan, target)
+        assert injector.advance_to(2) == []
+        assert injector.advance_to(3) == ["kill s1"]
+        assert injector.pending == 1
+        assert injector.advance_to(7) == []
+        assert injector.advance_to(8) == ["restore s1"]
+        assert injector.pending == 0
+        assert injector.fired == [(3, "kill s1"), (8, "restore s1")]
+
+    def test_arm_fires_at_simulated_nanoseconds(self):
+        net = Network()
+        target = Target()
+        fired_at = []
+        plan = (FaultPlan()
+                .at(2000, lambda t: fired_at.append(net.now_ns), "probe")
+                .kill_shard(5000, "s0"))
+        FaultInjector(plan, target).arm(net.loop)
+        net.run()
+        assert fired_at == [2000]
+        assert target.calls == [("kill", "s0")]
+        assert net.now_ns == 5000
