@@ -40,6 +40,19 @@ def test_table3_switch_comparison(bench_once):
           % (100 * fraction))
 
 
+def test_table3_optimized_row():
+    """The -O2 row: the optimized Emu switch closes in fewer cycles
+    than the handwritten NetFPGA reference, without touching the
+    unoptimized baseline row."""
+    rows, _, text = run_table3(include_optimized=True)
+    print("\n" + text)
+    emu, emu_opt, ref, _ = rows
+    assert emu.name == "Emu (C#)" and emu.latency_cycles == 8
+    assert emu_opt.name == "Emu (C#) -O2"
+    assert emu_opt.latency_cycles < ref.latency_cycles == 6
+    assert emu_opt.logic <= emu.logic
+
+
 def test_clicknp_comparison_section53(bench_once):
     """§5.3: Emu's single-thread utilisation is below the reference
     parser's (0.7x) while the multi-threaded variant exceeds it (1.2x);

@@ -54,3 +54,30 @@ def test_table4_emu_vs_host(bench_once):
     host_ratios = {r.name: r.host_tail_ratio for r in results}
     # DNS has the *smallest* relative host tail (1.09 in the paper).
     assert host_ratios["DNS"] == min(host_ratios.values())
+
+
+def test_table4_opt_level_rows_differ():
+    """Optimizer threading: with compiled-kernel cycle counting the
+    Memcached row (binary workload) gets measurably faster at -O2 than
+    at -O0, and services without kernels fall back gracefully."""
+    from repro.harness.table4 import _service_workloads, measure_service
+
+    def memcached_row(opt_level):
+        name, factory, host, workload = next(
+            row for row in _service_workloads(
+                400, memcached_protocol="binary")
+            if row[0] == "Memcached")
+        return measure_service(name, factory, host, workload,
+                               count=400, opt_level=opt_level)
+
+    unopt = memcached_row(0)
+    opt = memcached_row(2)
+    assert opt.emu_avg_us < unopt.emu_avg_us
+    assert opt.emu_mqps > unopt.emu_mqps
+
+    # A service without a kernel model silently keeps behavioural
+    # counting (the fallback inside measure_service).
+    name, factory, host, workload = _service_workloads(100)[0]  # ICMP
+    row = measure_service(name, factory, host, workload, count=100,
+                          opt_level=2)
+    assert 0.5 < row.emu_avg_us < 3.0

@@ -10,6 +10,8 @@
 * :mod:`repro.harness.ablations` — design-choice ablations called out
   in DESIGN.md (CAM IP vs language CAM, pause density vs timing,
   on-chip vs DRAM storage, single vs multi-threaded resource ratio).
+* :mod:`repro.harness.optimization` — the Kiwi middle-end comparison:
+  states/logic-levels/cycles per service kernel at -O0/-O1/-O2.
 * :mod:`repro.harness.report`    — fixed-width table rendering.
 """
 

@@ -47,9 +47,16 @@ def _streaming_throughput_mpps(ii_cycles):
     return NUM_PORTS * per_port / 1e6
 
 
-def measure_emu_switch():
-    """Compile + simulate the Emu switch core; returns a row."""
-    design, top = build_emu_switch_core()
+def measure_emu_switch(opt_level=None):
+    """Compile + simulate the Emu switch core; returns a row.
+
+    The default (``None``) pins ``-O0`` so the baseline row keeps
+    reproducing the seed compiler's Table 3 figures; pass an explicit
+    level for an optimized row (latency is measured on whatever machine
+    that level emits, so the rows are comparable).
+    """
+    design, top = build_emu_switch_core(
+        opt_level=0 if opt_level is None else opt_level)
     report = estimate_resources(top)
     # Measured module latency: simulate the kernel FSM on one packet and
     # add the CAM interface cycles plus the output registration cycle.
@@ -66,8 +73,9 @@ def measure_emu_switch():
         sim.step()
         cycles += 1
     latency = cycles + EMU_CAM_INTERFACE_CYCLES + 1
+    name = "Emu (C#)" if opt_level is None else "Emu (C#) -O%d" % opt_level
     return SwitchComparison(
-        "Emu (C#)", report.logic, report.memory, latency,
+        name, report.logic, report.memory, latency,
         _streaming_throughput_mpps(ii_cycles=2)), report
 
 
@@ -91,12 +99,20 @@ def measure_p4fpga_switch():
         _streaming_throughput_mpps(P4FPGA_PARSER_II_CYCLES)), report
 
 
-def run_table3():
-    """Run all three designs; returns (rows, reports, rendered text)."""
+def run_table3(include_optimized=False):
+    """Run all three designs; returns (rows, reports, rendered text).
+
+    With *include_optimized* a fourth row is added: the Emu switch
+    compiled at ``-O2``, so the table shows optimized vs. unoptimized
+    module latency side by side.
+    """
     emu, emu_report = measure_emu_switch()
     ref, ref_report = measure_reference_switch()
     p4, p4_report = measure_p4fpga_switch()
     rows = [emu, ref, p4]
+    if include_optimized:
+        emu_opt, _ = measure_emu_switch(opt_level=2)
+        rows.insert(1, emu_opt)
     text = render_table(
         ["Design", "Logic resources", "Memory resources",
          "Module latency", "Throughput (Mpps)"],

@@ -524,6 +524,9 @@ class VarRef(Expr):
     def children(self):
         return ()
 
+    def _key(self):
+        return ("var", self.name, self.width)
+
     def __repr__(self):
         return "var:%s<%d>" % (self.name, self.width)
 
@@ -540,6 +543,12 @@ class MemReadRef(Expr):
 
     def children(self):
         return (self.addr,)
+
+    def _key(self):
+        return ("memref", self.mem_name, self.width, self.addr.key())
+
+    def _clone_with(self, children):
+        return MemReadRef(self.mem_name, children[0], self.width)
 
     def __repr__(self):
         return "mem:%s[%r]" % (self.mem_name, self.addr)

@@ -1,34 +1,37 @@
 """Public compiler API (workflow step B1 of Fig. 1).
 
-``compile_function`` runs the full pipeline — parse, schedule, emit —
-and returns a :class:`CompiledDesign` bundling the netlist, the FSM, the
-timing report, and helpers to simulate the design and to emit Verilog.
+``compile_function`` runs the full pipeline — parse, schedule,
+optimize, emit — and returns a :class:`CompiledDesign` bundling the
+netlist, the FSM, the timing report, and helpers to simulate the design
+and to emit Verilog.
+
+The *optimize* step is the middle-end of :mod:`repro.kiwi.opt`,
+selected by ``opt_level``:
+
+* ``0`` — no passes; byte-identical to a compiler without a middle-end,
+* ``1`` (default) — resource passes only (folding, CSE, dead-register
+  and unreachable-state elimination); cycle counts are untouched,
+* ``2`` — adds state fusion/retiming under the timing-level budget,
+  which reduces cycles-per-request.
+
+``verify=True`` additionally runs differential co-simulation of the
+optimized design against ``-O0`` on seeded random inputs and raises if
+they ever diverge (a debug mode; the test suite runs the same check as
+a property test).
 """
 
 from repro.errors import CompileError
 from repro.kiwi.builder import FsmBuilder
 from repro.kiwi.codegen import generate
 from repro.kiwi.frontend import parse_function
-from repro.rtl.expr import BinOp, Mux, UnOp
+from repro.kiwi.opt import optimize
+from repro.rtl.expr import expr_depth as _expr_depth
 from repro.rtl.resources import estimate_resources
 from repro.rtl.simulator import Simulator
 from repro.rtl.verilog import emit_verilog
 
-
-def _expr_depth(expr, memo=None):
-    """Logic levels of an expression DAG (timing proxy)."""
-    if isinstance(expr, str):
-        return 0
-    if memo is None:
-        memo = {}
-    cached = memo.get(id(expr))
-    if cached is not None:
-        return cached
-    cost = 1 if isinstance(expr, (BinOp, Mux, UnOp)) else 0
-    children = expr.children() if hasattr(expr, "children") else ()
-    depth = cost + max((_expr_depth(c, memo) for c in children), default=0)
-    memo[id(expr)] = depth
-    return depth
+DEFAULT_OPT_LEVEL = 1
+DEFAULT_LEVEL_BUDGET = 48
 
 
 class TimingReport:
@@ -53,14 +56,42 @@ class TimingReport:
             self.state_count, self.max_logic_levels)
 
 
+def compute_timing(fsm):
+    """Schedule statistics of an FSM (run after optimization so the
+    report describes the machine actually emitted)."""
+    max_levels = 0
+    per_state = {}
+    for state in fsm.states:
+        levels = 0
+        memo = {}
+        for expr in state.updates.values():
+            levels = max(levels, _expr_depth(expr, memo))
+        transition = state.transition
+        if hasattr(transition, "cond"):
+            levels = max(levels, _expr_depth(transition.cond, memo))
+        for _, addr, data, enable in state.writes:
+            levels = max(levels, _expr_depth(addr, memo),
+                         _expr_depth(data, memo),
+                         _expr_depth(enable, memo))
+        per_state[state.index] = levels
+        max_levels = max(max_levels, levels)
+    return TimingReport(fsm.state_count, max_levels, per_state)
+
+
 class CompiledDesign:
     """The output of the Kiwi compiler for one kernel."""
 
-    def __init__(self, spec, fsm, module, timing):
+    def __init__(self, spec, fsm, module, timing, opt_level=0,
+                 pass_stats=None):
         self.spec = spec
         self.fsm = fsm
         self.module = module
         self.timing = timing
+        self.opt_level = opt_level
+        self.pass_stats = list(pass_stats or [])
+        #: Differential-verification report, set when compiled with
+        #: ``verify=True`` (stays None at -O0: nothing to compare).
+        self.verification = None
 
     @property
     def name(self):
@@ -70,13 +101,30 @@ class CompiledDesign:
     def state_count(self):
         return self.fsm.state_count
 
+    def dump(self):
+        """Human-readable view of the optimized machine (debugging a
+        pass pipeline reads much better than a netlist diff)."""
+        lines = ["design %s: -O%d, %d states, max %d logic levels"
+                 % (self.name, self.opt_level, self.state_count,
+                    self.timing.max_logic_levels)]
+        for stats in self.pass_stats:
+            if stats.changed():
+                lines.append("  %r" % stats)
+        lines.append(self.fsm.dump())
+        return "\n".join(lines)
+
     def resources(self):
         """Resource estimate of the generated netlist."""
         return estimate_resources(self.module)
 
     def verilog(self):
-        """Emit the design as Verilog text."""
-        return emit_verilog(self.module)
+        """Emit the design as Verilog text.
+
+        Optimized designs emit CSE'd subexpressions as shared wires
+        (text linear in the netlist); ``-O0`` keeps the historical
+        fully-inlined emission, byte-identical to the seed compiler.
+        """
+        return emit_verilog(self.module, share_wires=self.opt_level > 0)
 
     def simulator(self):
         """A fresh cycle simulator over the generated netlist."""
@@ -118,32 +166,38 @@ class CompiledDesign:
         return results, latency, sim
 
 
-def compile_function(fn, name=None):
-    """Compile a kernel function into a :class:`CompiledDesign`."""
+def compile_function(fn, name=None, opt_level=DEFAULT_OPT_LEVEL,
+                     verify=False, level_budget=DEFAULT_LEVEL_BUDGET,
+                     verify_inputs=None):
+    """Compile a kernel function into a :class:`CompiledDesign`.
+
+    *opt_level* selects the middle-end pipeline (see the module
+    docstring); *level_budget* is the timing budget (logic levels per
+    cycle) that bounds -O2 state fusion; *verify* enables the
+    differential-co-simulation debug mode.  *verify_inputs* (rng →
+    (scalars, memories)) supplies crafted request inputs for the
+    verification runs — recommended for protocol kernels, whose deep
+    paths random noise rarely reaches.
+    """
     spec = parse_function(fn)
     builder = FsmBuilder(spec)
     fsm = builder.build()
+    pass_stats = optimize(fsm, builder.var_widths, spec, opt_level,
+                          level_budget=level_budget)
     module = generate(spec, fsm, builder.var_widths, name=name)
-
-    max_levels = 0
-    per_state = {}
-    for state in fsm.states:
-        levels = 0
-        for expr in state.updates.values():
-            levels = max(levels, _expr_depth(expr))
-        transition = state.transition
-        if hasattr(transition, "cond"):
-            levels = max(levels, _expr_depth(transition.cond))
-        for _, addr, data, enable in state.writes:
-            levels = max(levels, _expr_depth(addr), _expr_depth(data),
-                         _expr_depth(enable))
-        per_state[state.index] = levels
-        max_levels = max(max_levels, levels)
-    timing = TimingReport(fsm.state_count, max_levels, per_state)
-    return CompiledDesign(spec, fsm, module, timing)
+    timing = compute_timing(fsm)
+    design = CompiledDesign(spec, fsm, module, timing,
+                            opt_level=opt_level, pass_stats=pass_stats)
+    if verify and opt_level > 0:
+        from repro.kiwi.opt.verify import assert_equivalent
+        design.verification = assert_equivalent(
+            fn, opt_level=opt_level, optimized=design,
+            input_factory=verify_inputs)
+    return design
 
 
-def compile_threads(functions, name="parallel"):
+def compile_threads(functions, name="parallel",
+                    opt_level=DEFAULT_OPT_LEVEL):
     """Compile several kernels as parallel circuits (§3.4 hardware
     semantics: "parallel threads may be wired into parallel logical
     sub-circuits").
@@ -151,7 +205,8 @@ def compile_threads(functions, name="parallel"):
     Returns a list of :class:`CompiledDesign` plus an aggregate resource
     report; the multi-threaded resource ablation uses this.
     """
-    designs = [compile_function(fn) for fn in functions]
+    designs = [compile_function(fn, opt_level=opt_level)
+               for fn in functions]
     total = None
     for design in designs:
         report = design.resources()

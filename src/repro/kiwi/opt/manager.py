@@ -1,0 +1,81 @@
+"""The pass manager: pipelines per optimization level.
+
+``-O0`` is the identity — the FSM the scheduler built is emitted
+verbatim (byte-identical Verilog to a compiler without a middle-end).
+``-O1`` runs the resource passes: constant folding, branch resolution +
+unreachable-state pruning, dead-register elimination, and CSE.  None of
+them changes the cycle count of any execution.  ``-O2`` adds state
+fusion (retiming under the timing budget), which is the pass that cuts
+cycles-per-packet, then lets the sealer elide any state the other
+passes emptied.
+
+The pipeline iterates to a fixpoint (each pass can expose work for the
+others: folding a branch condition exposes unreachable states, fusion
+exposes new constants) with a small iteration cap as a backstop.
+"""
+
+from repro.errors import CompileError
+from repro.kiwi.opt.passes import (
+    BranchResolvePass, ConstantFoldPass, CsePass, DeadRegisterPass,
+    OptContext, PassStats, StateFusionPass,
+)
+
+MAX_ITERATIONS = 8
+
+PIPELINES = {
+    0: (),
+    1: (ConstantFoldPass, BranchResolvePass, DeadRegisterPass, CsePass),
+    2: (ConstantFoldPass, BranchResolvePass, DeadRegisterPass,
+        StateFusionPass, CsePass),
+}
+
+
+class PassManager:
+    """Runs a pass pipeline over one FSM to a fixpoint."""
+
+    def __init__(self, passes, level_budget=48):
+        self.passes = list(passes)
+        self.level_budget = level_budget
+
+    def run(self, fsm, var_widths, spec):
+        """Optimize in place; returns one merged PassStats per pass."""
+        ctx = OptContext(fsm, var_widths, spec,
+                         level_budget=self.level_budget)
+        totals = [PassStats(p.name) for p in self.passes]
+        for _ in range(MAX_ITERATIONS):
+            changed = False
+            for opt_pass, total in zip(self.passes, totals):
+                stats = opt_pass.run(ctx)
+                total.merge(stats)
+                changed = changed or stats.changed()
+            if not changed:
+                break
+        return totals
+
+
+def optimize(fsm, var_widths, spec, opt_level, level_budget=48):
+    """Run the pipeline for *opt_level* over a sealed FSM, in place.
+
+    Returns the list of per-pass :class:`PassStats`.  The FSM comes back
+    renumbered (and, at -O2, re-sealed so emptied states are elided).
+    """
+    if opt_level not in PIPELINES:
+        raise CompileError(
+            "unknown optimization level %r (have -O0/-O1/-O2)"
+            % (opt_level,))
+    pipeline = PIPELINES[opt_level]
+    if not pipeline:
+        return []
+    manager = PassManager([cls() for cls in pipeline],
+                          level_budget=level_budget)
+    stats = manager.run(fsm, var_widths, spec)
+    if opt_level >= 2:
+        # Fusion and DCE may have emptied states; the sealer elides
+        # them and reassigns indices.
+        fsm.seal()
+    else:
+        # -O1 never changes cycle counts: keep every state, only
+        # refresh the indices after unreachable-state pruning.
+        for index, state in enumerate(fsm.states):
+            state.index = index
+    return stats

@@ -13,6 +13,40 @@ def _mask(width):
     return (1 << width) - 1
 
 
+class Key:
+    """A structural-identity token returned by :meth:`Expr.key`.
+
+    Expressions are DAGs with heavy sharing; a naive nested-tuple key
+    would hash in time proportional to the *expanded tree* (exponential
+    in the DAG depth) because tuples re-hash their elements every time.
+    ``Key`` caches its hash at construction — children are ``Key``
+    objects whose hashes are already cached, so hashing is O(arity) —
+    and equality short-circuits on identity, so comparing keys built
+    over shared subtrees never re-walks them.
+    """
+
+    __slots__ = ("parts", "_hash")
+
+    def __init__(self, parts):
+        self.parts = parts
+        self._hash = hash(parts)
+
+    def __hash__(self):
+        return self._hash
+
+    def __eq__(self, other):
+        if self is other:
+            return True
+        return (isinstance(other, Key) and self._hash == other._hash
+                and self.parts == other.parts)
+
+    def __ne__(self, other):
+        return not self.__eq__(other)
+
+    def __repr__(self):
+        return "Key%r" % (self.parts,)
+
+
 class Expr:
     """Base class for all combinational expressions."""
 
@@ -78,26 +112,53 @@ class Expr:
             return Slice(self, key.start, key.stop)
         raise TypeError("index must be int or slice")
 
+    # -- structural identity ----------------------------------------------
+
+    def key(self):
+        """A hashable structural key: two expressions have equal keys iff
+        they compute the same function of the same leaves at the same
+        width.  Widths are part of the key (an 8-bit and a 16-bit add of
+        the same operands are different hardware).  The optimizer's CSE
+        pass uses keys to share structurally-equal subtrees; see
+        :func:`intern_expr`.
+        """
+        cached = getattr(self, "_key_cache", None)
+        if cached is None:
+            cached = Key(self._key())
+            self._key_cache = cached
+        return cached
+
+    def _key(self):
+        raise NotImplementedError("no structural key for %r" % (self,))
+
     # -- traversal --------------------------------------------------------
 
     def children(self):
         return ()
 
     def signals(self):
-        """Yield every Signal referenced in this tree."""
+        """Yield every Signal referenced in this DAG (each node once)."""
         from repro.rtl.signal import Signal
+        seen = set()
         stack = [self]
         while stack:
             node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
             if isinstance(node, Signal):
                 yield node
             stack.extend(node.children())
 
     def mem_reads(self):
-        """Yield every MemRead node in this tree."""
+        """Yield every MemRead node in this DAG (each node once)."""
+        seen = set()
         stack = [self]
         while stack:
             node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
             if isinstance(node, MemRead):
                 yield node
             stack.extend(node.children())
@@ -113,6 +174,9 @@ class Const(Expr):
             raise WidthError("constant width must be positive")
         self.width = width
         self.value = value & _mask(width)
+
+    def _key(self):
+        return ("const", self.width, self.value)
 
     def __repr__(self):
         return "%d'd%d" % (self.width, self.value)
@@ -148,6 +212,9 @@ class BinOp(Expr):
     def children(self):
         return (self.lhs, self.rhs)
 
+    def _key(self):
+        return ("bin", self.op, self.width, self.lhs.key(), self.rhs.key())
+
     def __repr__(self):
         return "(%r %s %r)" % (self.lhs, self.op, self.rhs)
 
@@ -166,6 +233,9 @@ class UnOp(Expr):
 
     def children(self):
         return (self.operand,)
+
+    def _key(self):
+        return ("un", self.op, self.width, self.operand.key())
 
     def __repr__(self):
         return "(%s %r)" % (self.op, self.operand)
@@ -190,6 +260,10 @@ class Mux(Expr):
     def children(self):
         return (self.sel, self.if_true, self.if_false)
 
+    def _key(self):
+        return ("mux", self.width, self.sel.key(), self.if_true.key(),
+                self.if_false.key())
+
     def __repr__(self):
         return "(%r ? %r : %r)" % (self.sel, self.if_true, self.if_false)
 
@@ -213,6 +287,9 @@ class Slice(Expr):
     def children(self):
         return (self.operand,)
 
+    def _key(self):
+        return ("slice", self.msb, self.lsb, self.operand.key())
+
     def __repr__(self):
         return "%r[%d:%d]" % (self.operand, self.msb, self.lsb)
 
@@ -232,6 +309,9 @@ class Concat(Expr):
     def children(self):
         return self.parts
 
+    def _key(self):
+        return ("cat",) + tuple(p.key() for p in self.parts)
+
     def __repr__(self):
         return "{%s}" % ", ".join(repr(p) for p in self.parts)
 
@@ -248,6 +328,11 @@ class MemRead(Expr):
 
     def children(self):
         return (self.addr,)
+
+    def _key(self):
+        # Memories are unique objects (never structurally merged), so
+        # identity is the right notion of "same memory".
+        return ("memread", self.memory, self.addr.key())
 
     def __repr__(self):
         return "%s[%r]" % (self.memory.name, self.addr)
@@ -291,6 +376,136 @@ def reduce_or(expr):
 
 def reduce_and(expr):
     return UnOp("&r", expr)
+
+
+def eval_binop(op, lhs, rhs, width):
+    """Value of ``lhs op rhs`` at *width* — THE operator semantics.
+
+    Both the cycle simulator and the optimizer's constant folder call
+    this, so a folded constant is the value the simulator would have
+    computed, by construction (including division by zero yielding 0
+    and results wrapping at *width*).
+    """
+    if op == "+":
+        return (lhs + rhs) & _mask(width)
+    if op == "-":
+        return (lhs - rhs) & _mask(width)
+    if op == "*":
+        return (lhs * rhs) & _mask(width)
+    if op == "&":
+        return lhs & rhs
+    if op == "|":
+        return lhs | rhs
+    if op == "^":
+        return lhs ^ rhs
+    if op == "<<":
+        return (lhs << rhs) & _mask(width)
+    if op == ">>":
+        return lhs >> rhs
+    if op == "/":
+        return (lhs // rhs) & _mask(width) if rhs else 0
+    if op == "%":
+        return (lhs % rhs) & _mask(width) if rhs else 0
+    if op == "==":
+        return int(lhs == rhs)
+    if op == "!=":
+        return int(lhs != rhs)
+    if op == "<":
+        return int(lhs < rhs)
+    if op == "<=":
+        return int(lhs <= rhs)
+    if op == ">":
+        return int(lhs > rhs)
+    if op == ">=":
+        return int(lhs >= rhs)
+    raise WidthError("unknown operator %r" % op)
+
+
+def eval_unop(op, value, operand_width, width):
+    """Value of the unary ``op`` — shared like :func:`eval_binop`."""
+    if op == "~":
+        return ~value & _mask(width)
+    if op == "|r":
+        return int(value != 0)
+    if op == "&r":
+        return int(value == _mask(operand_width))
+    if op == "^r":
+        return bin(value).count("1") & 1
+    if op == "!":
+        return int(value == 0)
+    raise WidthError("unknown unary operator %r" % op)
+
+
+def intern_expr(expr, table, memo=None):
+    """Canonicalise *expr* through *table* (a dict keyed by ``key()``).
+
+    Rebuilds the tree bottom-up; every subtree structurally equal to one
+    seen before is replaced by the first instance, so the result is a
+    maximally-shared DAG.  Sharing matters because the simulator, the
+    resource estimator and the Verilog emitter all treat expressions by
+    identity — a shared node is one wire, not two copies.
+
+    *memo* (id → canonical node) carries identity-sharing across several
+    calls so repeated subtrees are only walked once.
+    """
+    if memo is None:
+        memo = {}
+    cached = memo.get(id(expr))
+    if cached is not None:
+        return cached
+    children = expr.children()
+    new_children = tuple(intern_expr(c, table, memo) for c in children)
+    node = expr
+    if any(a is not b for a, b in zip(children, new_children)):
+        node = clone_with_children(expr, new_children)
+    canonical = table.setdefault(node.key(), node)
+    memo[id(expr)] = canonical
+    return canonical
+
+
+def clone_with_children(expr, children):
+    """Copy *expr* with new children, preserving widths exactly."""
+    from repro.rtl.signal import Signal
+    if isinstance(expr, (Const, Signal)):
+        return expr
+    if isinstance(expr, BinOp):
+        node = BinOp.__new__(BinOp)
+        node.op = expr.op
+        node.lhs, node.rhs = children
+        node.width = expr.width
+        return node
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, children[0])
+    if isinstance(expr, Mux):
+        return Mux(*children)
+    if isinstance(expr, Slice):
+        return Slice(children[0], expr.msb, expr.lsb)
+    if isinstance(expr, Concat):
+        return Concat(children)
+    if isinstance(expr, MemRead):
+        return MemRead(expr.memory, children[0])
+    clone = getattr(expr, "_clone_with", None)   # builder-level nodes
+    if clone is not None:
+        return clone(children)
+    raise WidthError("cannot clone expression %r" % (expr,))
+
+
+def expr_depth(expr, memo=None):
+    """Logic levels of an expression DAG (the timing proxy used by the
+    :class:`~repro.kiwi.compiler.TimingReport` and by the optimizer's
+    state-fusion budget).  Operators and muxes cost one level each."""
+    if isinstance(expr, str):       # "__start__" placeholder
+        return 0
+    if memo is None:
+        memo = {}
+    cached = memo.get(id(expr))
+    if cached is not None:
+        return cached
+    cost = 1 if isinstance(expr, (BinOp, Mux, UnOp)) else 0
+    depth = cost + max((expr_depth(c, memo) for c in expr.children()),
+                       default=0)
+    memo[id(expr)] = depth
+    return depth
 
 
 def eq_any(expr, values):

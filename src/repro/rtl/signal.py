@@ -34,5 +34,10 @@ class Signal(Expr):
     def children(self):
         return ()
 
+    def _key(self):
+        # A signal is a physical net: identity, not structure.  Two
+        # same-named signals in different modules are different wires.
+        return ("sig", self)
+
     def __repr__(self):
         return "%s<%d>" % (self.name, self.width)

@@ -12,9 +12,10 @@ Inputs are poked between cycles with :meth:`Simulator.poke`; outputs and
 internal nets are read with :meth:`Simulator.peek`.
 """
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, WidthError
 from repro.rtl.expr import (
-    BinOp, Concat, Const, MemRead, Mux, Slice, UnOp,
+    BinOp, Concat, Const, MemRead, Mux, Slice, UnOp, eval_binop,
+    eval_unop,
 )
 from repro.rtl.module import flatten
 from repro.rtl.signal import Signal
@@ -94,56 +95,23 @@ class Simulator:
         return value
 
     def _eval_inner(self, expr):
+        # Operator arithmetic is shared with the optimizer's constant
+        # folder (repro.rtl.expr.eval_binop/eval_unop): one source of
+        # truth, so folding can never diverge from simulation.
         if isinstance(expr, BinOp):
             lhs = self._eval(expr.lhs)
             rhs = self._eval(expr.rhs)
-            op = expr.op
-            if op == "+":
-                return (lhs + rhs) & _mask(expr.width)
-            if op == "-":
-                return (lhs - rhs) & _mask(expr.width)
-            if op == "*":
-                return (lhs * rhs) & _mask(expr.width)
-            if op == "&":
-                return lhs & rhs
-            if op == "|":
-                return lhs | rhs
-            if op == "^":
-                return lhs ^ rhs
-            if op == "<<":
-                return (lhs << rhs) & _mask(expr.width)
-            if op == ">>":
-                return lhs >> rhs
-            if op == "/":
-                return (lhs // rhs) & _mask(expr.width) if rhs else 0
-            if op == "%":
-                return (lhs % rhs) & _mask(expr.width) if rhs else 0
-            if op == "==":
-                return int(lhs == rhs)
-            if op == "!=":
-                return int(lhs != rhs)
-            if op == "<":
-                return int(lhs < rhs)
-            if op == "<=":
-                return int(lhs <= rhs)
-            if op == ">":
-                return int(lhs > rhs)
-            if op == ">=":
-                return int(lhs >= rhs)
-            raise SimulationError("unknown operator %r" % op)
+            try:
+                return eval_binop(expr.op, lhs, rhs, expr.width)
+            except WidthError:
+                raise SimulationError("unknown operator %r" % expr.op)
         if isinstance(expr, UnOp):
             value = self._eval(expr.operand)
-            if expr.op == "~":
-                return ~value & _mask(expr.width)
-            if expr.op == "|r":
-                return int(value != 0)
-            if expr.op == "&r":
-                return int(value == _mask(expr.operand.width))
-            if expr.op == "^r":
-                return bin(value).count("1") & 1
-            if expr.op == "!":
-                return int(value == 0)
-            raise SimulationError("unknown unary %r" % expr.op)
+            try:
+                return eval_unop(expr.op, value, expr.operand.width,
+                                 expr.width)
+            except WidthError:
+                raise SimulationError("unknown unary %r" % expr.op)
         if isinstance(expr, Mux):
             return self._eval(expr.if_true) if self._eval(expr.sel) \
                 else self._eval(expr.if_false)

@@ -21,16 +21,26 @@ def _vname(name):
     return name.replace(".", "__")
 
 
-def _emit_expr(expr):
+def _emit_expr(expr, names=None):
+    if names is not None:
+        name = names.get(id(expr))
+        if name is not None:
+            return name
+    return _emit_node(expr, names)
+
+
+def _emit_node(expr, names=None):
+    """Render one node (children may resolve to shared-wire names)."""
     if isinstance(expr, Const):
         return "%d'd%d" % (expr.width, expr.value)
     if isinstance(expr, Signal):
         return _vname(expr.name)
     if isinstance(expr, BinOp):
         return "(%s %s %s)" % (
-            _emit_expr(expr.lhs), _BIN_VERILOG[expr.op], _emit_expr(expr.rhs))
+            _emit_expr(expr.lhs, names), _BIN_VERILOG[expr.op],
+            _emit_expr(expr.rhs, names))
     if isinstance(expr, UnOp):
-        inner = _emit_expr(expr.operand)
+        inner = _emit_expr(expr.operand, names)
         if expr.op == "~":
             return "(~%s)" % inner
         if expr.op == "|r":
@@ -43,26 +53,89 @@ def _emit_expr(expr):
             return "(!%s)" % inner
     if isinstance(expr, Mux):
         return "(%s ? %s : %s)" % (
-            _emit_expr(expr.sel), _emit_expr(expr.if_true),
-            _emit_expr(expr.if_false))
+            _emit_expr(expr.sel, names), _emit_expr(expr.if_true, names),
+            _emit_expr(expr.if_false, names))
     if isinstance(expr, Slice):
         if expr.msb == expr.lsb:
-            return "%s[%d]" % (_emit_expr(expr.operand), expr.lsb)
-        return "%s[%d:%d]" % (_emit_expr(expr.operand), expr.msb, expr.lsb)
+            return "%s[%d]" % (_emit_expr(expr.operand, names), expr.lsb)
+        return "%s[%d:%d]" % (_emit_expr(expr.operand, names), expr.msb,
+                              expr.lsb)
     if isinstance(expr, Concat):
-        return "{%s}" % ", ".join(_emit_expr(p) for p in expr.parts)
+        return "{%s}" % ", ".join(_emit_expr(p, names)
+                                  for p in expr.parts)
     if isinstance(expr, MemRead):
-        return "%s[%s]" % (_vname(expr.memory.name), _emit_expr(expr.addr))
+        return "%s[%s]" % (_vname(expr.memory.name),
+                           _emit_expr(expr.addr, names))
     raise TypeError("cannot emit %r" % (expr,))
+
+
+def _expr_roots(module):
+    """Every expression the module emits, in a stable order."""
+    roots = list(module.comb_assigns.values())
+    roots += list(module.sync_assigns.values())
+    for mw in module.mem_writes:
+        roots += [mw.enable, mw.addr, mw.data]
+    return roots
+
+
+def _shared_wires(module):
+    """(names, defs): a wire name per multiply-referenced subexpression.
+
+    Expressions are DAGs (the optimizer's CSE pass makes the sharing
+    heavy); inlining a shared node at every reference expands the DAG
+    into its tree form, which is exponential in the worst case.  Nodes
+    with more than one incoming reference are hoisted into named wires
+    instead, so the emitted text is linear in the netlist size — this is
+    CSE made visible: one shared wire per common subexpression.
+
+    *defs* is ``[(name, width, node)]`` in children-first order.
+    """
+    counts = {}
+    order = []          # post-order, children before parents
+
+    def walk(node):
+        key = id(node)
+        if key in counts:
+            counts[key] += 1
+            return
+        counts[key] = 1
+        for child in node.children():
+            walk(child)
+        order.append(node)
+
+    for root in _expr_roots(module):
+        walk(root)
+
+    names = {}
+    defs = []
+    for node in order:
+        if counts[id(node)] < 2 or isinstance(node, (Const, Signal)):
+            continue
+        name = "_x%d" % len(defs)
+        names[id(node)] = name
+        defs.append((name, node.width, node))
+    return names, defs
 
 
 def _range(width):
     return "" if width == 1 else "[%d:0] " % (width - 1)
 
 
-def emit_verilog(module):
-    """Render *module* (flattened) as a structural Verilog string."""
+def emit_verilog(module, share_wires=False):
+    """Render *module* (flattened) as a structural Verilog string.
+
+    With *share_wires* every multiply-referenced subexpression is
+    emitted once as a named wire (``_xN``) instead of being inlined at
+    each reference — required for optimized designs, whose CSE'd
+    expression DAGs would otherwise expand exponentially into text.
+    The default (off) keeps the historical inline emission, so ``-O0``
+    output stays byte-identical.
+    """
     flat = flatten(module) if module.instances else module
+    names = None
+    shared_defs = []
+    if share_wires:
+        names, shared_defs = _shared_wires(flat)
     lines = []
     ports = ["clk"]
     ports += [_vname(s.name) for s in flat.inputs]
@@ -88,21 +161,29 @@ def emit_verilog(module):
         lines.append("  reg %s%s [0:%d]; // %d-bit addr" % (
             _range(mem.width), _vname(mem.name), mem.depth - 1, addr_bits))
 
+    if shared_defs:
+        lines.append("")
+        lines.append("  // shared subexpressions (CSE)")
+        for name, width, node in shared_defs:
+            lines.append("  wire %s%s;" % (_range(width), name))
+            lines.append("  assign %s = %s;" % (
+                name, _emit_node(node, names)))
+
     lines.append("")
     for target, expr in flat.comb_assigns.items():
         lines.append("  assign %s = %s;" % (
-            _vname(target.name), _emit_expr(expr)))
+            _vname(target.name), _emit_expr(expr, names)))
 
     if flat.sync_assigns or flat.mem_writes:
         lines.append("")
         lines.append("  always @(posedge clk) begin")
         for target, expr in flat.sync_assigns.items():
             lines.append("    %s <= %s;" % (
-                _vname(target.name), _emit_expr(expr)))
+                _vname(target.name), _emit_expr(expr, names)))
         for mw in flat.mem_writes:
             lines.append("    if (%s) %s[%s] <= %s;" % (
-                _emit_expr(mw.enable), _vname(mw.memory.name),
-                _emit_expr(mw.addr), _emit_expr(mw.data)))
+                _emit_expr(mw.enable, names), _vname(mw.memory.name),
+                _emit_expr(mw.addr, names), _emit_expr(mw.data, names)))
         lines.append("  end")
 
     lines.append("endmodule")

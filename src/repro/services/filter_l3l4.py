@@ -160,3 +160,75 @@ class FilteringSwitch(EmuService):
         self.switch.reset()
         self.accepted = 0
         self.filtered = 0
+
+    def kernel_cycle_model(self, opt_level):
+        """Core-cycle model from the compiled filter-stage kernel,
+        programmed with this switch's rule chain (first 8 rules)."""
+        from repro.targets.kernel_model import KernelCycleModel
+        model = KernelCycleModel(filter_kernel, opt_level)
+        for slot, rule in enumerate(self.filter.rules[:8]):
+            model.sim.poke_memory("rule_valid", slot, 1)
+            model.sim.poke_memory("rule_proto", slot, rule.protocol or 0)
+            model.sim.poke_memory("rule_src", slot, rule.src_ip)
+            model.sim.poke_memory("rule_smask", slot, rule.src_mask)
+            model.sim.poke_memory("rule_dlo", slot, rule.dport_lo)
+            model.sim.poke_memory("rule_dhi", slot, rule.dport_hi)
+            model.sim.poke_memory(
+                "rule_accept", slot, 1 if rule.verdict == ACCEPT else 0)
+        return model
+
+
+def filter_kernel(frame: "mem[64]x8", rule_proto: "mem[8]x8",
+                  rule_src: "mem[8]x32", rule_smask: "mem[8]x32",
+                  rule_dlo: "mem[8]x16", rule_dhi: "mem[8]x16",
+                  rule_accept: "mem[8]x1",
+                  rule_valid: "mem[8]x1") -> "u1":
+    """Flat Emu-Python L3/L4 filter stage for the Kiwi compiler.
+
+    An 8-entry rule chain evaluated in order (first match wins,
+    iptables semantics, default accept): protocol, masked source
+    address, and destination-port range.  The rule memories are the
+    hardware image of :class:`FilterRule`; the unrolled match chain is
+    what the optimizer's CSE and fusion passes chew on.  Returns the
+    accept bit.
+    """
+    ethertype = (frame[12] << 8) | frame[13]
+    if ethertype != 0x0800:
+        return 1                    # non-IP traffic is switched freely
+    proto = frame[23]
+    src_ip = 0
+    for i in range(4):
+        src_ip = bits((src_ip << 8) | frame[26 + i], 32)
+    pause()
+
+    dport = (frame[36] << 8) | frame[37]
+    ports_known = 0
+    if proto == 6:
+        ports_known = 1
+    if proto == 17:
+        ports_known = 1
+    if ports_known == 0:
+        dport = 0
+    pause()
+
+    verdict = 1
+    decided = 0
+    for r in range(8):
+        m = 0
+        if rule_valid[r] == 1:
+            m = 1
+            if rule_proto[r] != 0:
+                if bits(rule_proto[r], 8) != bits(proto, 8):
+                    m = 0
+            if bits(src_ip & rule_smask[r], 32) != rule_src[r]:
+                m = 0
+            if bits(dport, 16) < rule_dlo[r]:
+                m = 0
+            if bits(dport, 16) > rule_dhi[r]:
+                m = 0
+        if decided == 0:
+            if m == 1:
+                verdict = rule_accept[r]
+                decided = 1
+    pause()
+    return verdict

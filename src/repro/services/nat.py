@@ -182,3 +182,64 @@ class NatService(EmuService):
         self._lan_macs.clear()
         self._next_port = FIRST_PUBLIC_PORT
         self.translated_out = self.translated_in = self.dropped = 0
+
+    def kernel_cycle_model(self, opt_level):
+        """Core-cycle model from the compiled outbound-path kernel
+        (used by the FPGA target when an ``opt_level`` is requested)."""
+        from repro.targets.kernel_model import KernelCycleModel
+        return KernelCycleModel(
+            nat_kernel, opt_level,
+            scalars={"public_ip": self.public_ip, "src_port": 0})
+
+
+def nat_kernel(frame: "mem[64]x8", public_ip: "u32", src_port: "u8",
+               map_ip: "mem[64]x32", map_port: "mem[64]x16",
+               map_valid: "mem[64]x1") -> ("u4", "u16"):
+    """Flat Emu-Python outbound NAPT datapath for the Kiwi compiler.
+
+    The hot path of the gateway: a LAN-side UDP frame has its source
+    endpoint remembered in a 64-entry direct-mapped table and is
+    rewritten to leave from ``(public_ip, 10000 + slot)``.  Inbound and
+    ICMP translation stay behavioural; this kernel is what the
+    optimizer benchmarks measure.  Returns ``(output-port bitmap,
+    public port)`` — bitmap 0 drops, bit 1 is the WAN port.
+    """
+    ethertype = (frame[12] << 8) | frame[13]
+    if ethertype != 0x0800:
+        return 0, 0
+    if frame[23] != 17:
+        return 0, 0
+    if src_port != 0:
+        return 0, 0                 # inbound handled elsewhere
+    pause()
+
+    src_ip = 0
+    for i in range(4):
+        src_ip = bits((src_ip << 8) | frame[26 + i], 32)
+    sport = (frame[34] << 8) | frame[35]
+    slot = bits(src_ip ^ (src_ip >> 8) ^ sport, 6)
+    pause()
+
+    # Port-restricted mapping: install on miss, reuse on hit.
+    hit = 0
+    if map_valid[slot] == 1 and map_ip[slot] == src_ip and \
+            map_port[slot] == bits(sport, 16):
+        hit = 1
+    if hit == 0:
+        map_ip[slot] = src_ip
+        map_port[slot] = bits(sport, 16)
+        map_valid[slot] = 1
+    public_port = bits(slot, 16) + 10000
+    pause()
+
+    # Rewrite the source IP (checksum passes are charged as datapath
+    # extras, as in the behavioural service).
+    frame[26] = bits(public_ip >> 24, 8)
+    frame[27] = bits(public_ip >> 16, 8)
+    frame[28] = bits(public_ip >> 8, 8)
+    frame[29] = bits(public_ip, 8)
+    pause()
+
+    frame[34] = bits(public_port >> 8, 8)
+    frame[35] = bits(public_port, 8)
+    return 2, public_port

@@ -102,17 +102,21 @@ def switch_kernel(frame: "mem[64]x8", src_port: "u8", dst_hit: "u1",
     return out_ports, learn, src_mac
 
 
-def build_emu_switch_core(table_size=DEFAULT_TABLE_SIZE):
+def build_emu_switch_core(table_size=DEFAULT_TABLE_SIZE, opt_level=None):
     """The full Emu switch design: compiled kernel + CAM IP block.
 
     Returns ``(compiled_design, top_module)``; the top module is what
     Table 3 reports resources for (and matches the paper's observation
-    that ~85% of the Emu switch's resources are the CAM).
+    that ~85% of the Emu switch's resources are the CAM).  *opt_level*
+    overrides the compiler's default middle-end level (e.g. ``2`` for
+    the optimized Table 3 row).
     """
-    from repro.kiwi.compiler import compile_function
+    from repro.kiwi.compiler import DEFAULT_OPT_LEVEL, compile_function
     from repro.rtl.module import Module
 
-    design = compile_function(switch_kernel)
+    if opt_level is None:
+        opt_level = DEFAULT_OPT_LEVEL
+    design = compile_function(switch_kernel, opt_level=opt_level)
     cam = BinaryCAM(key_width=48, value_width=8, depth=table_size)
     cam_netlist = cam.build_netlist("mac_cam")
 

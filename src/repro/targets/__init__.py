@@ -15,8 +15,9 @@ The same service object runs on all of them:
 
 from repro.targets.cpu import CpuTarget
 from repro.targets.fpga import FpgaTarget, FpgaTimingModel
+from repro.targets.kernel_model import KernelCycleModel
 from repro.targets.pipeline import NetfpgaPipeline
 from repro.targets.multicore import MultiCoreTarget
 
-__all__ = ["CpuTarget", "FpgaTarget", "FpgaTimingModel", "NetfpgaPipeline",
-           "MultiCoreTarget"]
+__all__ = ["CpuTarget", "FpgaTarget", "FpgaTimingModel",
+           "KernelCycleModel", "NetfpgaPipeline", "MultiCoreTarget"]

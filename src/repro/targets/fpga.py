@@ -79,11 +79,29 @@ class FpgaTarget:
 
     ``send(frame)`` returns ``(emitted, latency_ns)``; aggregate
     statistics accumulate for the measurement harness.
+
+    *opt_level* selects the Kiwi middle-end level for the core-cycle
+    model.  ``None`` (the default) keeps the behavioural pause-count;
+    an integer compiles the service's flat kernel (services that have
+    one expose ``kernel_cycle_model``) at that level and measures each
+    request on the resulting netlist, so Table 3/4-style rows can
+    compare optimized against unoptimized cycles per request.
     """
 
-    def __init__(self, service, num_ports=4, seed=1):
+    def __init__(self, service, num_ports=4, seed=1, opt_level=None):
         self.service = service
-        self.pipeline = NetfpgaPipeline(service, num_ports)
+        self.opt_level = opt_level
+        cycle_model = None
+        if opt_level is not None:
+            factory = getattr(service, "kernel_cycle_model", None)
+            if factory is None:
+                raise TargetError(
+                    "service %r has no compiled-kernel cycle model; "
+                    "cannot honour opt_level=%r"
+                    % (getattr(service, "name", service), opt_level))
+            cycle_model = factory(opt_level)
+        self.pipeline = NetfpgaPipeline(service, num_ports,
+                                        cycle_model=cycle_model)
         self.timing = FpgaTimingModel(seed)
         self.latencies_ns = []
 

@@ -20,11 +20,19 @@ OUTPUT_QUEUE_DEPTH = 64
 
 
 class NetfpgaPipeline:
-    """Input arbiter + main logical core slot + output queues."""
+    """Input arbiter + main logical core slot + output queues.
 
-    def __init__(self, service, num_ports=4):
+    *cycle_model* (optional, a
+    :class:`~repro.targets.kernel_model.KernelCycleModel`) replaces the
+    behavioural pause-count with cycles measured on the compiled kernel
+    — the frame's fate is still decided behaviourally, but its cost is
+    the optimized (or deliberately unoptimized) machine's.
+    """
+
+    def __init__(self, service, num_ports=4, cycle_model=None):
         self.service = service
         self.num_ports = num_ports
+        self.cycle_model = cycle_model
         self.input_queues = [SyncFIFO(width=8, depth=INPUT_QUEUE_DEPTH)
                              for _ in range(num_ports)]
         self.output_queues = [SyncFIFO(width=8, depth=OUTPUT_QUEUE_DEPTH)
@@ -65,6 +73,8 @@ class NetfpgaPipeline:
         """
         dataplane = NetFPGAData(frame)
         dataplane, cycles = self.service.process_counting(dataplane)
+        if self.cycle_model is not None:
+            cycles = self.cycle_model.cycles(frame)
         self.core_busy_cycles += cycles
         return dataplane, cycles
 

@@ -222,7 +222,10 @@ class TestThreads:
         designs, total = compile_threads([add_mul, add_mul])
         single = designs[0].resources()
         assert len(designs) == 2
-        assert total.logic == pytest.approx(2 * single.logic, rel=0.01)
+        # abs=1 absorbs the half-LUT rounding difference between
+        # round(2x) and 2*round(x).
+        assert total.logic == pytest.approx(2 * single.logic, rel=0.01,
+                                            abs=1)
 
 
 def reference_gcd(a, b):
