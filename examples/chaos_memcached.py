@@ -2,10 +2,12 @@
 
 Two layers of the same story:
 
-1. device level — a ClusterTarget under the memaslap mix loses one of
-   8 shards mid-workload; the miss-count detector evicts it, replicas
-   are promoted, queued writes replay (hinted handoff), and the shard
-   later rejoins with a bounded key remap;
+1. device level — a cluster deployment (`deploy("memcached")
+   .on("cluster", shards=8).with_faults(plan)`) under the memaslap mix
+   loses one of 8 shards mid-workload; the miss-count detector evicts
+   it, replicas are promoted, queued writes replay (hinted handoff),
+   and the shard later rejoins with a bounded key remap — the run's
+   report opens with the deployment's own describe() table;
 2. network level — the same failure inside the simulator: the shard's
    uplink goes dark on a lossy fabric, the balancer's φ-accrual
    detector notices the silence and routes around it, and the link's

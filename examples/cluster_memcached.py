@@ -2,7 +2,8 @@
 
 Three views of the same cluster layer:
 
-1. the scale-out throughput table (ClusterTarget, batched dispatch);
+1. the scale-out throughput table (cluster deployment, batched
+   dispatch);
 2. rebalance cost when a shard leaves (consistent hashing at work);
 3. a latency-realistic leaf-spine run in the network simulator, with
    the load balancer itself running as an Emu service on the spine.
@@ -10,9 +11,8 @@ Three views of the same cluster layer:
 Run:  python examples/cluster_memcached.py
 """
 
-from repro.cluster import (
-    ClusterTarget, build_leaf_spine, memcached_is_write,
-)
+from repro.cluster import build_leaf_spine
+from repro.deploy import deploy
 from repro.harness.cluster_scaling import (
     run_cluster_scaling, run_rebalance_cost,
 )
@@ -55,17 +55,20 @@ def main():
           % " ".join("%s=%d" % (shard, counts[shard])
                      for shard in sorted(counts)))
 
-    # Functional spot check through the full fabric.
-    target = ClusterTarget(factory, num_shards=8,
-                           is_write=memcached_is_write)
-    target.send_batch(memaslap_mix(IP_SVC, IP_CLI, count=COUNT))
+    # Functional spot check through the full deployment API.
+    dep = deploy("memcached").on("cluster", shards=8).with_seed(1) \
+        .start()
+    dep.send_batch(memaslap_mix(IP_SVC, IP_CLI, count=COUNT))
+    print("\n" + repr(dep))
+    target = dep.target
     hits = sum(s.service.hits for s in target.shards.values())
     misses = sum(s.service.misses for s in target.shards.values())
-    print("\nClusterTarget: %d requests, %d batches, hit rate %.0f%%, "
-          "load imbalance %.2f"
-          % (target.requests, target.batches,
+    snapshot = dep.stats()
+    print("cluster deployment: %d requests, %d batches, hit rate "
+          "%.0f%%, load imbalance %.2f"
+          % (snapshot["requests"], snapshot["batches"],
              100.0 * hits / max(1, hits + misses),
-             target.load_imbalance()))
+             snapshot["load_imbalance"]))
 
 
 if __name__ == "__main__":

@@ -1,46 +1,42 @@
-"""Memcached on the FPGA target under the memaslap workload (§5.4).
+"""Memcached on the FPGA backend under the memaslap workload (§5.4).
 
-Runs the 90% GET / 10% SET mix against the Emu Memcached service and
-its host-model baseline, printing the Table 4 row plus the 4-core
-scaling experiment.
+Runs the 90% GET / 10% SET mix against the Emu Memcached service
+(deployed through `repro.deploy`) and its host-model baseline,
+printing the Table 4 row plus the 4-core scaling experiment.
 
 Run:  python examples/memcached_benchmark.py
 """
 
+from repro.deploy import deploy
 from repro.harness.multicore import run_multicore_scaling
 from repro.hoststack import host_memcached
 from repro.net.dag import LatencyCapture
-from repro.net.packet import ip_to_int
 from repro.net.workloads import memaslap_mix
 from repro.services import MemcachedService
-from repro.targets import FpgaTarget
+from repro.services.catalog import CLIENT_IP, SERVICE_IP
 
-IP_SVC = ip_to_int("10.0.0.1")
-IP_CLI = ip_to_int("10.0.0.2")
 COUNT = 5000
 
 
 def main():
     print("memaslap mix: 90%% GET / 10%% SET, %d requests" % COUNT)
 
-    emu = FpgaTarget(MemcachedService(my_ip=IP_SVC))
-    capture = LatencyCapture()
-    for request in memaslap_mix(IP_SVC, IP_CLI, count=COUNT):
-        _, latency_ns = emu.send(request)
-        if latency_ns is not None:
-            capture.record(latency_ns)
-    service = emu.service
+    emu = deploy("memcached").on("fpga").with_seed(1).start()
+    for request in memaslap_mix(SERVICE_IP, CLIENT_IP, count=COUNT):
+        emu.send(request)
+    service = emu.target.service
+    metrics = emu.metrics
     print("\nEmu/FPGA:  avg %.2f us   99th %.2f us   tail ratio %.3f"
-          % (capture.average_us(), capture.p99_us(),
-             capture.tail_to_average()))
+          % (metrics.average_latency_us(), metrics.p99_latency_us(),
+             metrics.latency.tail_to_average()))
     print("           gets=%d sets=%d hit rate %.0f%%"
           % (service.gets, service.sets,
              100.0 * service.hits / max(1, service.hits +
                                         service.misses)))
 
-    host = host_memcached(MemcachedService(my_ip=IP_SVC))
+    host = host_memcached(MemcachedService(my_ip=SERVICE_IP))
     host_capture = LatencyCapture()
-    for request in memaslap_mix(IP_SVC, IP_CLI, count=COUNT):
+    for request in memaslap_mix(SERVICE_IP, CLIENT_IP, count=COUNT):
         _, latency_us = host.send(request)
         host_capture.record_us(latency_us)
     print("Host:      avg %.2f us   99th %.2f us   tail ratio %.3f"

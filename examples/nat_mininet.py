@@ -1,12 +1,13 @@
-"""The NAT multi-target demo (§4.4): one codebase, three targets.
+"""The NAT multi-target demo (§4.4): one codebase, three backends.
 
 The paper compiles the NAT service to software, Mininet and hardware.
-This example runs the *same service object* on:
+This example deploys the *same service description* on:
 
-1. the CPU target (plain process),
-2. the network simulator (a LAN host behind the gateway reaching a WAN
-   server — the Mininet role),
-3. the FPGA target (latency measurement).
+1. the CPU backend (plain process),
+2. the network simulator — first through the deploy netsim backend
+   (one simulated host per gateway port), then on a bespoke topology
+   with a responding WAN server (the full Mininet role),
+3. the FPGA backend (latency measurement).
 
 Run:  python examples/nat_mininet.py
 """
@@ -14,10 +15,10 @@ Run:  python examples/nat_mininet.py
 from repro.core.protocols.ethernet import EthernetWrapper
 from repro.core.protocols.ipv4 import IPv4Wrapper
 from repro.core.protocols.udp import UDPWrapper, build_udp
+from repro.deploy import deploy
 from repro.net.packet import Frame, int_to_ip, ip_to_int, mac_to_int
 from repro.netsim import Network
 from repro.services import NatService
-from repro.targets import CpuTarget, FpgaTarget
 
 LAN_MAC = mac_to_int("02:00:00:00:00:aa")
 GW_MAC = mac_to_int("02:00:00:00:00:05")
@@ -32,15 +33,26 @@ def outbound_frame():
 
 
 def main():
-    print("=== target 1: CPU (software semantics) ===")
-    cpu = CpuTarget(NatService(public_ip=PUBLIC_IP))
-    (port, translated), = cpu.send(outbound_frame())
+    print("=== backend 1: CPU (software semantics) ===")
+    cpu = deploy("nat").on("cpu").start()
+    (port, translated), = cpu.send(outbound_frame())[0]
     ip = IPv4Wrapper(translated.data)
     udp = UDPWrapper(translated.data)
     print("outbound rewritten to %s:%d, out of WAN port %d"
           % (int_to_ip(ip.source_ip_address), udp.source_port, port))
 
-    print("\n=== target 2: simulated network (the Mininet role) ===")
+    print("\n=== backend 2a: the deploy netsim backend ===")
+    sim = deploy("nat").on("netsim", ports=2).start()
+    emitted, latency_ns = sim.send(outbound_frame())
+    (wan_port, on_wire), = emitted
+    print("host0 (LAN) -> gateway -> host%d (WAN) saw %s:%d after "
+          "%.1f us of simulated wire time"
+          % (wan_port,
+             int_to_ip(IPv4Wrapper(on_wire.data).source_ip_address),
+             UDPWrapper(on_wire.data).source_port, latency_ns / 1000.0))
+
+    print("\n=== backend 2b: bespoke topology with a WAN responder "
+          "(the Mininet role) ===")
     net = Network()
     lan = net.add_host("lan")
 
@@ -69,8 +81,8 @@ def main():
              UDPWrapper(reply.data).destination_port,
              net.now_ns / 1000.0, nat.translated_out, nat.translated_in))
 
-    print("\n=== target 3: FPGA (NetFPGA pipeline + timing model) ===")
-    fpga = FpgaTarget(NatService(public_ip=PUBLIC_IP))
+    print("\n=== backend 3: FPGA (NetFPGA pipeline + timing model) ===")
+    fpga = deploy("nat").on("fpga").start()
     _, latency_ns = fpga.send(outbound_frame())
     print("gateway DUT latency: %.0f ns (Table 4: 1.32 us, vs 2.4 ms "
           "for the loaded Linux gateway)" % latency_ns)

@@ -60,6 +60,14 @@ def main():
     _, text = run_opt_comparison()
     print(text)
 
+    print("\n=== the same comparison through the Deployment API ===")
+    from repro.harness.optimization import run_deployment_comparison
+    _, text = run_deployment_comparison(count=120)
+    print(text)
+    print("(deploy(service).on('fpga').with_opt(level) threads the "
+          "optimizer through the whole spine — any registry service, "
+          "any backend)")
+
 
 if __name__ == "__main__":
     main()

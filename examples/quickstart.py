@@ -1,41 +1,40 @@
-"""Quickstart: the full Fig. 1 workflow on one service.
+"""Quickstart: one service codebase, every target, one API.
 
-A1  write a network service against the Emu API (the learning switch),
-A2-A4  run and test it as an ordinary process (CPU target),
-B1  compile it with Kiwi to a netlist + Verilog,
-B2  simulate the compiled design cycle-accurately,
-C1-C2  run it inside the NetFPGA pipeline model and measure latency.
+The paper's Fig. 1 workflow on one service (the learning switch),
+driven through `repro.deploy` — the same `deploy()` call runs the
+service as a plain process, inside the NetFPGA pipeline model, or on
+a simulated network:
+
+    deploy("switch").on("cpu").start()       # develop/test/debug
+    deploy("switch").on("fpga").start()      # cycle/latency model
+    deploy("switch").on("netsim").start()    # the Mininet role
+
+A1     write a network service against the Emu API,
+A2-A4  deploy it on the CPU backend (software semantics),
+B1     compile it with Kiwi to a netlist + Verilog,
+B2     simulate the compiled design cycle-accurately,
+C1-C2  deploy it on the FPGA backend and measure latency.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core.protocols.icmp import build_icmp_echo_request
+from repro.deploy import deploy
 from repro.kiwi import compile_function
-from repro.net.packet import Frame, int_to_mac, ip_to_int, mac_to_int
-from repro.rtl import estimate_resources
-from repro.services import LearningSwitch
+from repro.net.packet import int_to_mac
+from repro.services.catalog import MAC_A, registry
 from repro.services.switch import switch_kernel
-from repro.targets import CpuTarget, FpgaTarget
-
-MAC_A = mac_to_int("02:00:00:00:00:aa")
-MAC_B = mac_to_int("02:00:00:00:00:bb")
-IP_A = ip_to_int("10.0.0.2")
-IP_B = ip_to_int("10.0.0.3")
-
-
-def frame(dst_mac, src_mac, src_port):
-    return Frame(build_icmp_echo_request(dst_mac, src_mac, IP_A, IP_B),
-                 src_port=src_port).pad()
 
 
 def main():
-    print("=== A: develop and test on the CPU target ===")
-    switch = LearningSwitch()
-    cpu = CpuTarget(switch)
-    emitted = cpu.send(frame(MAC_B, MAC_A, src_port=2))
+    spec = registry()["switch"]
+    frames = list(spec.workload(2))     # port 2 -> flood, port 0 -> learn
+
+    print("=== A: develop and test on the CPU backend ===")
+    cpu = deploy("switch").on("cpu").with_seed(1).start()
+    emitted, _ = cpu.send(frames[0])
     print("unknown dst -> flooded to ports %s"
           % sorted(port for port, _ in emitted))
-    emitted = cpu.send(frame(MAC_A, MAC_B, src_port=0))
+    emitted, _ = cpu.send(frames[1])
     print("learned %s -> forwarded only to port %s"
           % (int_to_mac(MAC_A), [port for port, _ in emitted]))
 
@@ -68,13 +67,24 @@ def main():
           "(+2 CAM +1 output = 8, the Table 3 figure)"
           % (bin(ports), learn, latency))
 
-    print("\n=== C: run on the FPGA target (NetFPGA pipeline model) ===")
-    fpga = FpgaTarget(LearningSwitch())
-    _, latency_ns = fpga.send(frame(MAC_B, MAC_A, src_port=2))
+    print("\n=== C: deploy on the FPGA backend (NetFPGA pipeline "
+          "model) ===")
+    fpga = deploy("switch").on("fpga").with_seed(1).start()
+    _, latency_ns = fpga.send(frames[0].copy())
     print("one frame through the 4x10G pipeline: %.0f ns DUT latency"
           % latency_ns)
     print("sustainable rate at 64 B: %.2f Mpps/port"
-          % (fpga.max_qps(frame(MAC_B, MAC_A, 2)) / 1e6))
+          % (fpga.max_qps(frames[0]) / 1e6))
+
+    print("\n=== and the uniform metrics every backend fills ===")
+    fpga.run(count=64)
+    snapshot = fpga.stats()
+    print("fpga backend: %(requests)d requests, %(replies)d replies, "
+          "avg %(avg_latency_us).2f us" % snapshot)
+    print(fpga.describe())
+    print("\n(before repro.deploy this file hand-wired CpuTarget and "
+          "FpgaTarget; direct construction still works but is "
+          "deprecated — see README 'Deployment API')")
 
 
 if __name__ == "__main__":

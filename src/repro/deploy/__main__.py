@@ -1,0 +1,112 @@
+"""CLI demo driver: deploy any registered service on any backend.
+
+    python -m repro.deploy --service memcached --backend fpga \\
+        --opt 2 --requests 1000
+    python -m repro.deploy --list
+    python -m repro.deploy --matrix --requests 32
+
+Built entirely on :func:`repro.services.catalog` +
+:class:`~repro.deploy.builder.Deployment` — the CLI contains no
+target-specific code, which is the point.
+"""
+
+import argparse
+import sys
+
+from repro.deploy.builder import deploy
+from repro.deploy.conformance import run_matrix
+from repro.harness.report import render_table
+from repro.services.catalog import registry
+
+
+def _parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.deploy",
+        description="Deploy a registered service on any backend and "
+                    "drive its default workload through it.")
+    parser.add_argument("--service", default="memcached",
+                        help="registry name (see --list)")
+    parser.add_argument("--backend", default="cpu",
+                        help="cpu | fpga | multicore | cluster | netsim")
+    parser.add_argument("--opt", type=int, default=None,
+                        help="Kiwi opt level for compiled-kernel cycle "
+                             "counting (0, 1 or 2)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--requests", type=int, default=256)
+    parser.add_argument("--shards", type=int, default=8,
+                        help="cluster backend width")
+    parser.add_argument("--cores", type=int, default=4,
+                        help="multicore backend width")
+    parser.add_argument("--list", action="store_true",
+                        help="list registered services and exit")
+    parser.add_argument("--matrix", action="store_true",
+                        help="print the backend-conformance matrix "
+                             "and exit")
+    return parser
+
+
+def _list_services():
+    specs = registry()
+    rows = [[name, ", ".join(spec.backends), spec.description]
+            for name, spec in sorted(specs.items())]
+    return render_table(["Service", "Backends", "Description"], rows,
+                        title="Registered services")
+
+
+def _backend_kwargs(args):
+    if args.backend == "cluster":
+        return {"shards": args.shards}
+    if args.backend == "multicore":
+        return {"cores": args.cores}
+    return {}
+
+
+def main(argv=None):
+    args = _parser().parse_args(argv)
+    if args.list:
+        print(_list_services())
+        return 0
+    if args.matrix:
+        count = min(args.requests, 64)
+        if count < args.requests:
+            print("(--requests clamped to %d for the matrix; every "
+                  "cell replays the full trace that many times)"
+                  % count)
+        _, text = run_matrix(count=count, seed=args.seed)
+        print(text)
+        return 0
+
+    dep = deploy(args.service).on(args.backend,
+                                  **_backend_kwargs(args))
+    dep.with_seed(args.seed)
+    if args.opt is not None:
+        dep.with_opt(args.opt)
+    dep.start()
+    print(dep.describe())
+    print()
+
+    dep.run(count=args.requests)
+    snapshot = dep.stats()
+    rows = [[key, snapshot[key]] for key in sorted(snapshot)
+            if snapshot[key] is not None]
+    print(render_table(["Metric", "Value"], rows,
+                       title="Run: %d request(s) through %r"
+                             % (args.requests, dep)))
+
+    probe = dep.spec.client.request(seed=args.seed)
+    emitted, latency_ns = dep.send(probe)
+    if emitted:
+        port, reply = emitted[0]
+        line = "probe reply on port %d: %s" \
+            % (port, dep.spec.client.summarize(reply))
+        if latency_ns is not None:
+            line += "  (%.0f ns)" % latency_ns
+        print("\n" + line)
+    else:
+        print("\nprobe produced no reply (dropped)")
+    dep.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

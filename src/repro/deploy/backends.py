@@ -1,0 +1,425 @@
+"""Backend adapters: one ``start/send/send_batch/stop/stats`` protocol
+over every execution target.
+
+Each adapter wraps one of the existing target layers — it does not
+reimplement them.  The uniform surface is:
+
+* ``start()``                  — build the underlying target(s);
+* ``send(frame)``              — one request; always returns
+  ``(emitted, latency_ns)`` where *emitted* is a ``(port, frame)``
+  list and *latency_ns* is ``None`` on backends without a timing
+  model (CPU) or for dropped frames;
+* ``send_batch(frames)``       — a request list (backends with a
+  native batched path use it; others loop);
+* ``stop()``                   — release the target;
+* ``stats()``                  — backend-specific counters, merged
+  into the deployment's metrics snapshot;
+* ``pop_cycles()``             — core-cycle counts recorded since the
+  last call (feeds the metrics cycle histogram);
+* ``max_qps(read, write, ratio)`` — the model-based throughput
+  ceiling, where the target has one;
+* ``attach_faults(plan)``      — wire a
+  :class:`~repro.netsim.faults.FaultPlan` to whatever fault surface
+  the backend has.  The injector's target is backend-specific: the
+  ``ClusterTarget`` on the cluster backend (so ``plan.kill_shard``
+  etc. work), the backend adapter itself on netsim (its fault verbs
+  are ``partition(port)`` / ``heal(port)``).
+
+Register new backends with :func:`register_backend`; the
+:class:`~repro.deploy.builder.Deployment` builder resolves them by
+name, so new execution substrates compose with every registered
+service and workload without touching call sites.
+"""
+
+from repro.cluster.balancer import flow_key
+from repro.cluster.ring import DEFAULT_VNODES
+from repro.cluster.target import ClusterTarget
+from repro.errors import TargetError
+from repro.netsim import FaultInjector, Network
+from repro.targets.cpu import CpuTarget
+from repro.targets.fpga import FpgaTarget
+from repro.targets.multicore import MultiCoreTarget
+
+#: name -> Backend subclass
+BACKENDS = {}
+
+
+def register_backend(name):
+    """Class decorator: make a backend constructible by name."""
+    def decorate(cls):
+        cls.name = name
+        BACKENDS[name] = cls
+        return cls
+    return decorate
+
+
+def backend_names():
+    return sorted(BACKENDS)
+
+
+def resolve_backend(name):
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        raise TargetError("unknown backend %r (have: %s)"
+                          % (name, ", ".join(backend_names())))
+
+
+class Backend:
+    """Adapter base: common config handling + default loops."""
+
+    name = "?"
+
+    def __init__(self, spec, config):
+        self.spec = spec
+        self.config = config
+        self.target = None
+        self._cycle_offsets = {}
+        #: The opt level the running deployment actually honours;
+        #: ``None`` on backends without a compiled-kernel cycle model
+        #: (cpu, netsim) or when the service has no flat kernel.
+        self.effective_opt = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self):
+        raise NotImplementedError
+
+    def stop(self):
+        self.target = None
+
+    @property
+    def started(self):
+        return self.target is not None
+
+    def _require_started(self):
+        if not self.started:
+            raise TargetError("backend %r is not started" % (self.name,))
+
+    # -- dispatch -----------------------------------------------------------
+
+    def send(self, frame):
+        raise NotImplementedError
+
+    def send_batch(self, frames):
+        """Default: sequential sends (overridden where the target has
+        a native batched path)."""
+        return [self.send(frame) for frame in frames]
+
+    # -- observability ------------------------------------------------------
+
+    def _fpga_targets(self):
+        """The FpgaTarget instances whose cycle counts feed metrics."""
+        return []
+
+    def pop_cycles(self):
+        """Core-cycle counts recorded since the last call."""
+        harvested = []
+        for target in self._fpga_targets():
+            key = id(target)
+            offset = self._cycle_offsets.get(key, 0)
+            counts = target.core_cycle_counts
+            if offset < len(counts):
+                harvested.extend(counts[offset:])
+                self._cycle_offsets[key] = len(counts)
+        return harvested
+
+    def stats(self):
+        return {}
+
+    def describe_scale(self):
+        """Short human string for the describe() table ("8 shards")."""
+        return "1 device"
+
+    # -- models / faults ----------------------------------------------------
+
+    def max_qps(self, read_frame, write_frame=None, write_ratio=0.0):
+        raise TargetError("backend %r has no throughput model"
+                          % (self.name,))
+
+    def attach_faults(self, plan):
+        """Wire a fault plan; returns a FaultInjector or raises."""
+        raise TargetError("backend %r has no fault surface"
+                          % (self.name,))
+
+    def _effective_opt(self, service):
+        """The opt level this service can honour (the table-4 fallback:
+        services without a flat kernel keep behavioural counting)."""
+        opt_level = self.config.opt_level
+        if opt_level is not None and \
+                not hasattr(service, "kernel_cycle_model"):
+            return None
+        return opt_level
+
+    def _effective_opt_for_factory(self):
+        """Like :meth:`_effective_opt` for factory-based targets
+        (multicore/cluster build their own instances): probes one
+        instance for the kernel hook, and only when an opt level was
+        actually requested — the common unoptimized path builds
+        nothing extra."""
+        if self.config.opt_level is None:
+            return None
+        return self._effective_opt(self.spec.build())
+
+
+@register_backend("cpu")
+class CpuBackend(Backend):
+    """Workflow A: software semantics, no timing model."""
+
+    def start(self):
+        self.target = CpuTarget(self.spec.build(),
+                                num_ports=self.config.get("ports", 4),
+                                seed=self.config.seed)
+        return self
+
+    def send(self, frame):
+        self._require_started()
+        return self.target.send(frame), None
+
+    def stats(self):
+        self._require_started()
+        return {"frames_processed": self.target.frames_processed}
+
+    def describe_scale(self):
+        return "%d ports" % self.config.get("ports", 4)
+
+
+@register_backend("fpga")
+class FpgaBackend(Backend):
+    """One NetFPGA SUME device (cycle/latency/throughput model)."""
+
+    def start(self):
+        service = self.spec.build()
+        self.effective_opt = self._effective_opt(service)
+        self.target = FpgaTarget(service,
+                                 num_ports=self.config.get("ports", 4),
+                                 seed=self.config.seed,
+                                 opt_level=self.effective_opt)
+        return self
+
+    def send(self, frame):
+        self._require_started()
+        return self.target.send(frame)
+
+    def _fpga_targets(self):
+        return [self.target] if self.target else []
+
+    def max_qps(self, read_frame, write_frame=None, write_ratio=0.0):
+        self._require_started()
+        read_qps = self.target.max_qps(read_frame.copy())
+        if write_frame is None or write_ratio <= 0.0:
+            return read_qps
+        write_qps = self.target.max_qps(write_frame.copy())
+        return 1.0 / (write_ratio / write_qps +
+                      (1.0 - write_ratio) / read_qps)
+
+    def stats(self):
+        self._require_started()
+        pipeline = self.target.pipeline
+        return {"frames_in": pipeline.frames_in,
+                "frames_out": pipeline.frames_out,
+                "dropped_ingress": pipeline.frames_dropped_ingress,
+                "opt_level": self.effective_opt}
+
+    def describe_scale(self):
+        return "%d ports" % self.config.get("ports", 4)
+
+
+@register_backend("multicore")
+class MultiCoreBackend(Backend):
+    """N Emu cores, one per port, with write replication (§5.4)."""
+
+    def start(self):
+        self.effective_opt = self._effective_opt_for_factory()
+        self.target = MultiCoreTarget(
+            self.spec.factory,
+            num_cores=self.config.get("cores", 4),
+            seed=self.config.seed,
+            is_write=self.config.get("is_write", self.spec.is_write),
+            opt_level=self.effective_opt)
+        self._pending_cycles = []
+        return self
+
+    def send(self, frame):
+        self._require_started()
+        serving_core = frame.src_port % self.target.num_cores
+        result = self.target.send(frame)
+        # Harvest per send, not per pop: a batch spreads requests over
+        # different serving cores, and only the serving core's count
+        # is a request cost — a replicated write also runs on every
+        # other core, but those replica applies are background work,
+        # exactly like the cluster backend's (which records none).
+        # One cycle sample per request on every backend, batch or not.
+        for index, core in enumerate(self.target.cores):
+            key = id(core)
+            offset = self._cycle_offsets.get(key, 0)
+            counts = core.core_cycle_counts
+            if offset < len(counts):
+                if index == serving_core:
+                    self._pending_cycles.extend(counts[offset:])
+                self._cycle_offsets[key] = len(counts)
+        return result
+
+    def _fpga_targets(self):
+        return self.target.cores if self.target else []
+
+    def pop_cycles(self):
+        pending, self._pending_cycles = self._pending_cycles, []
+        return pending
+
+    def max_qps(self, read_frame, write_frame=None, write_ratio=0.0):
+        self._require_started()
+        if write_frame is None:
+            write_frame = read_frame
+        return self.target.max_qps(read_frame, write_frame, write_ratio)
+
+    def stats(self):
+        self._require_started()
+        return {"cores": self.target.num_cores,
+                "opt_level": self.effective_opt}
+
+    def describe_scale(self):
+        return "%d cores" % self.config.get("cores", 4)
+
+
+@register_backend("cluster")
+class ClusterBackend(Backend):
+    """N sharded devices behind a consistent-hash ring (scale-out)."""
+
+    def start(self):
+        self.effective_opt = self._effective_opt_for_factory()
+        config = self.config
+        self.target = ClusterTarget(
+            self.spec.factory,
+            num_shards=config.get("shards", 8),
+            policy=config.get("policy"),
+            is_write=config.get("is_write", self.spec.is_write),
+            key_fn=config.get("key_fn", self.spec.key_fn or flow_key),
+            vnodes=config.get("vnodes", DEFAULT_VNODES),
+            seed=config.seed,
+            suspect_after=config.get("suspect_after", 3),
+            opt_level=self.effective_opt)
+        return self
+
+    def send(self, frame):
+        self._require_started()
+        return self.target.send(frame)
+
+    def send_batch(self, frames):
+        self._require_started()
+        return self.target.send_batch(frames)
+
+    def _fpga_targets(self):
+        if not self.target:
+            return []
+        return list(self.target.shards.values())
+
+    def max_qps(self, read_frame, write_frame=None, write_ratio=0.0):
+        self._require_started()
+        if write_frame is None:
+            write_frame = read_frame
+        return self.target.max_qps(read_frame, write_frame, write_ratio)
+
+    def attach_faults(self, plan):
+        self._require_started()
+        return FaultInjector(plan, self.target)
+
+    def stats(self):
+        self._require_started()
+        target = self.target
+        return {"shards": target.num_shards,
+                "writes": target.writes,
+                "replica_applies": target.replica_applies,
+                "failed_requests": target.failed_requests,
+                "failovers": target.failovers,
+                "load_imbalance": target.load_imbalance()
+                if target.requests else None,
+                "opt_level": self.effective_opt}
+
+    def describe_scale(self):
+        return "%d shards" % self.config.get("shards", 8)
+
+
+@register_backend("netsim")
+class NetsimBackend(Backend):
+    """The Mininet role: the service on a simulated wire.
+
+    The service node gets one simulated host per port (the deploy
+    trace's ``src_port`` picks the injecting host), so multi-port
+    semantics — NAT's LAN→WAN forwarding, the switch's flooding —
+    survive intact: replies come back as ``(port, frame)`` exactly
+    like the CPU target's emission list, plus wire latency.
+    """
+
+    def start(self):
+        config = self.config
+        num_ports = config.get("ports", 4)
+        self.net = Network()
+        service = self.spec.build()
+        self.node = self.net.add_service("dut", service,
+                                         num_ports=num_ports)
+        self.hosts = []
+        self.links = []
+        for port in range(num_ports):
+            host = self.net.add_host("host%d" % port)
+            faults = dict(config.get("faults") or {})
+            faults.setdefault("seed", config.seed + port)
+            self.links.append(self.net.connect(
+                host, 0, self.node, port,
+                latency_ns=config.get("link_latency_ns", 1000),
+                bandwidth_bps=config.get("bandwidth_bps",
+                                         10_000_000_000),
+                faults=faults))
+            self.hosts.append(host)
+        self.target = self.node
+        return self
+
+    # -- fault verbs (the FaultPlan target on this backend) -----------------
+
+    def partition(self, port):
+        """Cut the wire between the simulated host on *port* and the
+        service (the ``plan.partition(when, port)`` verb)."""
+        self._require_started()
+        self.links[int(port)].take_down()
+
+    def heal(self, port):
+        self._require_started()
+        self.links[int(port)].bring_up()
+
+    def send(self, frame):
+        self._require_started()
+        if not 0 <= frame.src_port < len(self.hosts):
+            raise TargetError("no simulated host on port %d"
+                              % frame.src_port)
+        start_ns = self.net.now_ns
+        self.hosts[frame.src_port].send(frame.copy())
+        self.net.run()
+        emitted = []
+        latest_ns = None
+        for port, host in enumerate(self.hosts):
+            for reply in host.drain():
+                emitted.append((port, reply))
+                if latest_ns is None or reply.timestamp_ns > latest_ns:
+                    latest_ns = reply.timestamp_ns
+        latency_ns = None if latest_ns is None else latest_ns - start_ns
+        return emitted, latency_ns
+
+    def attach_faults(self, plan):
+        """Arm *plan* on the simulator's event loop (times are loop
+        nanoseconds).  The injector's target is this backend: plans use
+        its :meth:`partition` / :meth:`heal` port verbs (there are no
+        shards here — shard-verb plans belong on the cluster backend
+        or the :mod:`repro.cluster.topology` builders)."""
+        self._require_started()
+        injector = FaultInjector(plan, self)
+        injector.arm(self.net.loop)
+        return injector
+
+    def stats(self):
+        self._require_started()
+        return {"frames_handled": self.node.frames_handled,
+                "frames_dropped": self.node.frames_dropped,
+                "sim_time_ns": self.net.now_ns}
+
+    def describe_scale(self):
+        return "%d simulated hosts" % self.config.get("ports", 4)

@@ -1,0 +1,281 @@
+"""The fluent deployment builder — the package's front door.
+
+    from repro.deploy import deploy
+
+    dep = (deploy("memcached")
+           .on("cluster", shards=8, policy=PrimaryReplica(1))
+           .with_opt(2)
+           .with_seed(7)
+           .with_faults(plan)
+           .start())
+    dep.send_batch(frames)
+    print(dep.metrics.snapshot(), dep.describe())
+
+``deploy()`` accepts a registry name, a :class:`ServiceSpec`, or a
+bare service factory (wrapped into an ad-hoc spec), so harnesses with
+one-off service variants use the same API as registry services.  All
+configuration happens before :meth:`Deployment.start`; after it the
+deployment is live and ``send``/``send_batch``/``run`` feed a uniform
+:class:`~repro.deploy.metrics.Metrics`.
+"""
+
+from repro.deploy.backends import resolve_backend
+from repro.deploy.metrics import Metrics
+from repro.deploy.spec import ServiceSpec
+from repro.errors import TargetError
+from repro.harness.report import render_table
+
+VALID_OPT_LEVELS = (None, 0, 1, 2)
+
+
+class DeploymentConfig:
+    """Resolved configuration handed to the backend adapter."""
+
+    def __init__(self, seed=1, opt_level=None, fault_plan=None,
+                 backend_kwargs=None):
+        self.seed = seed
+        self.opt_level = opt_level
+        self.fault_plan = fault_plan
+        self.backend_kwargs = dict(backend_kwargs or {})
+
+    def get(self, key, default=None):
+        return self.backend_kwargs.get(key, default)
+
+
+class Deployment:
+    """One service on one backend, configured fluently."""
+
+    def __init__(self, spec):
+        self.spec = spec
+        self._backend_name = "cpu"
+        self._backend_kwargs = {}
+        self._opt_level = None
+        self._seed = 1
+        self._fault_plan = None
+        self.backend = None
+        self.injector = None
+        self.metrics = Metrics()
+
+    # -- fluent configuration ----------------------------------------------
+
+    def _require_not_started(self):
+        if self.backend is not None:
+            raise TargetError("deployment is already started")
+
+    def on(self, backend_name, **backend_kwargs):
+        """Choose the backend (cpu / fpga / multicore / cluster /
+        netsim) and its scale knobs (``shards=``, ``cores=``,
+        ``ports=``, ``policy=``, ...)."""
+        self._require_not_started()
+        resolve_backend(backend_name)        # fail fast on typos
+        if not self.spec.supports(backend_name):
+            raise TargetError(
+                "service %r does not support backend %r (supported: %s)"
+                % (self.spec.name, backend_name,
+                   ", ".join(self.spec.backends)))
+        self._backend_name = backend_name
+        self._backend_kwargs = dict(backend_kwargs)
+        return self
+
+    def with_opt(self, opt_level):
+        """Kiwi middle-end level for compiled-kernel cycle counting."""
+        self._require_not_started()
+        if opt_level not in VALID_OPT_LEVELS:
+            raise TargetError("opt_level must be one of %r"
+                              % (VALID_OPT_LEVELS,))
+        self._opt_level = opt_level
+        return self
+
+    def with_seed(self, seed):
+        """The single source of randomness, threaded to every adapter
+        (arbiter jitter, per-core/per-shard streams, fault links)."""
+        self._require_not_started()
+        self._seed = int(seed)
+        return self
+
+    def with_faults(self, plan):
+        """A :class:`~repro.netsim.faults.FaultPlan` to wire at start
+        (cluster: a window-pumped injector on ``.injector``; netsim:
+        armed on the simulator's event loop)."""
+        self._require_not_started()
+        self._fault_plan = plan
+        return self
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self):
+        """Instantiate the backend; returns the live deployment."""
+        self._require_not_started()
+        config = DeploymentConfig(seed=self._seed,
+                                  opt_level=self._opt_level,
+                                  fault_plan=self._fault_plan,
+                                  backend_kwargs=self._backend_kwargs)
+        backend_cls = resolve_backend(self._backend_name)
+        self.backend = backend_cls(self.spec, config)
+        self.backend.start()
+        if self._fault_plan is not None:
+            self.injector = self.backend.attach_faults(self._fault_plan)
+        return self
+
+    def inject_faults(self, plan):
+        """Attach a fault plan to a *live* deployment — the post-start
+        twin of :meth:`with_faults`, for plans that need the built
+        target first (e.g. picking a victim from the actual shard
+        ids).  Returns the injector (also on ``.injector``)."""
+        self._require_started()
+        self._fault_plan = plan
+        self.injector = self.backend.attach_faults(plan)
+        return self.injector
+
+    def stop(self):
+        """Release the backend (the deployment can be restarted)."""
+        if self.backend is not None:
+            self.backend.stop()
+            self.backend = None
+            self.injector = None
+
+    @property
+    def started(self):
+        return self.backend is not None
+
+    def _require_started(self):
+        if self.backend is None:
+            raise TargetError("deployment is not started "
+                              "(call .start() first)")
+
+    @property
+    def target(self):
+        """The underlying target object (for target-specific surface:
+        shard membership, ring statistics, pipeline counters)."""
+        self._require_started()
+        return self.backend.target
+
+    # -- dispatch -----------------------------------------------------------
+
+    def send(self, frame):
+        """One request; returns ``(emitted, latency_ns)`` uniformly."""
+        self._require_started()
+        emitted, latency_ns = self.backend.send(frame)
+        for cycles in self.backend.pop_cycles():
+            self.metrics.core_cycles.append(cycles)
+        self.metrics.record(emitted, latency_ns)
+        return emitted, latency_ns
+
+    def send_batch(self, frames):
+        """A request list; backends with a native batched path use it."""
+        self._require_started()
+        results = self.backend.send_batch(list(frames))
+        for cycles in self.backend.pop_cycles():
+            self.metrics.core_cycles.append(cycles)
+        for emitted, latency_ns in results:
+            self.metrics.record(emitted, latency_ns)
+        self.metrics.record_batch()
+        return results
+
+    def run(self, frames=None, count=256, seed=None, **options):
+        """Drive a workload (default: the spec's) through the backend;
+        returns the populated :class:`Metrics`."""
+        self._require_started()
+        if frames is None:
+            frames = self.spec.workload(
+                count, seed if seed is not None else self._seed,
+                **options)
+        for frame in frames:
+            self.send(frame.copy())
+        return self.metrics
+
+    # -- models -------------------------------------------------------------
+
+    def max_qps(self, read_frame, write_frame=None, write_ratio=0.0):
+        """Model-based sustainable throughput for a read/write mix."""
+        self._require_started()
+        return self.backend.max_qps(read_frame, write_frame, write_ratio)
+
+    def stats(self):
+        """Uniform metrics snapshot + backend-specific counters."""
+        self._require_started()
+        merged = self.metrics.snapshot()
+        merged["backend"] = self._backend_name
+        merged["service"] = self.spec.name
+        merged.update(self.backend.stats())
+        return merged
+
+    # -- description --------------------------------------------------------
+
+    def describe(self):
+        """An aligned table of what this deployment actually runs —
+        harness logs print it so chaos/scaling runs are self-naming."""
+        fault_plan = self._fault_plan
+        rows = [
+            ["service", self.spec.name],
+            ["backend", self._backend_name],
+            ["scale", self.backend.describe_scale()
+             if self.backend else self._static_scale()],
+            ["opt level", self._describe_opt()],
+            ["seed", str(self._seed)],
+            ["fault plan", "%d timed event(s)" % len(fault_plan.events)
+             if fault_plan is not None else "none"],
+            ["state", "started" if self.started else "configured"],
+        ]
+        policy = self._backend_kwargs.get("policy")
+        if policy is not None:
+            rows.insert(3, ["policy", type(policy).__name__])
+        return render_table(["Parameter", "Value"], rows,
+                            title="Deployment: %s on %s"
+                                  % (self.spec.name, self._backend_name))
+
+    def _describe_opt(self):
+        """What actually runs, not just what was asked for: a started
+        backend may not honour the requested level — the service has
+        no flat kernel, or the backend (cpu, netsim) has no compiled-
+        kernel cycle model at all."""
+        if self._opt_level is None:
+            return "behavioural"
+        if self.backend is not None and self.backend.effective_opt \
+                is None:
+            return "-O%d (not applied: behavioural)" % self._opt_level
+        return "-O%d" % self._opt_level
+
+    def _static_scale(self):
+        kwargs = self._backend_kwargs
+        for key, unit in (("shards", "shards"), ("cores", "cores"),
+                          ("ports", "ports")):
+            if key in kwargs:
+                return "%d %s" % (kwargs[key], unit)
+        return "default"
+
+    def __repr__(self):
+        bits = ["%s on %s" % (self.spec.name, self._backend_name)]
+        scale = self._static_scale()
+        if scale != "default":
+            bits.append(scale)
+        if self._opt_level is not None:
+            bits.append("-O%d" % self._opt_level)
+        bits.append("seed=%d" % self._seed)
+        if self._fault_plan is not None:
+            bits.append("faults=%d" % len(self._fault_plan.events))
+        bits.append("started" if self.started else "configured")
+        return "<Deployment %s>" % ", ".join(bits)
+
+
+def deploy(service, name=None):
+    """Start building a deployment.
+
+    *service* is a registry name (``"memcached"``), a
+    :class:`ServiceSpec`, or a bare service factory (wrapped into an
+    ad-hoc spec named *name*).
+    """
+    if isinstance(service, ServiceSpec):
+        return Deployment(service)
+    if isinstance(service, str):
+        from repro.services.catalog import registry
+        specs = registry()
+        if service not in specs:
+            raise TargetError("unknown service %r (registry has: %s)"
+                              % (service, ", ".join(sorted(specs))))
+        return Deployment(specs[service])
+    if callable(service):
+        return Deployment(ServiceSpec.adhoc(
+            name or getattr(service, "__name__", "service"), service))
+    raise TargetError("deploy() wants a registry name, a ServiceSpec, "
+                      "or a service factory; got %r" % (service,))

@@ -1,0 +1,121 @@
+"""Uniform per-deployment observability.
+
+Every backend adapter feeds the same :class:`Metrics` object through
+the same code path (:meth:`Metrics.record`, called once per request by
+the deployment), so request/reply/drop accounting, the latency
+histogram, and the core-cycle histogram mean the same thing on every
+backend — replacing the ad-hoc per-harness counters that used to be
+reinvented next to every experiment loop.
+
+Latency is only meaningful where the backend has a timing model (fpga,
+multicore, cluster, netsim); the CPU target's software semantics record
+``None`` latencies, which simply don't enter the histogram.  The shapes
+stay consistent: every snapshot has every key, empty where a backend
+has nothing to report.
+"""
+
+from repro.net.dag import LatencyCapture
+
+
+class Metrics:
+    """Request/reply/drop counters + latency and cycle histograms."""
+
+    def __init__(self):
+        self.requests = 0
+        self.replies = 0
+        self.drops = 0
+        self.batches = 0
+        self.latency = LatencyCapture()
+        self.core_cycles = []
+        self.elapsed_ns = 0.0          # sum of recorded latencies
+
+    # -- recording (one path for every backend) -----------------------------
+
+    def record(self, emitted, latency_ns, core_cycles=None):
+        """Account one request's outcome (called by the deployment)."""
+        self.requests += 1
+        if emitted:
+            self.replies += len(emitted)
+        else:
+            self.drops += 1
+        if latency_ns is not None:
+            self.latency.record(latency_ns)
+            self.elapsed_ns += latency_ns
+        if core_cycles is not None:
+            self.core_cycles.append(core_cycles)
+
+    def record_batch(self):
+        self.batches += 1
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def reply_rate(self):
+        """Fraction of requests that produced at least one reply."""
+        if self.requests == 0:
+            return 0.0
+        return 1.0 - self.drops / self.requests
+
+    def average_latency_us(self):
+        return self.latency.average_us() if self.latency.count else None
+
+    def p99_latency_us(self):
+        return self.latency.p99_us() if self.latency.count else None
+
+    def average_core_cycles(self):
+        if not self.core_cycles:
+            return None
+        return sum(self.core_cycles) / len(self.core_cycles)
+
+    def qps(self):
+        """Serial-replay throughput: requests over summed latency
+        (a lower bound — the paper's targets pipeline better than
+        this; the model-based ceiling is ``Deployment.max_qps``)."""
+        if self.elapsed_ns <= 0:
+            return None
+        return self.requests * 1e9 / self.elapsed_ns
+
+    def latency_histogram(self, bins=8):
+        """``[(low_us, high_us, count)]`` over the recorded samples."""
+        return _histogram([s / 1000.0 for s in self.latency.samples_ns],
+                          bins)
+
+    def cycle_histogram(self, bins=8):
+        """``[(low, high, count)]`` over recorded core-cycle counts."""
+        return _histogram(self.core_cycles, bins)
+
+    def snapshot(self):
+        """A dict with a consistent shape on every backend."""
+        return {
+            "requests": self.requests,
+            "replies": self.replies,
+            "drops": self.drops,
+            "batches": self.batches,
+            "reply_rate": self.reply_rate,
+            "avg_latency_us": self.average_latency_us(),
+            "p99_latency_us": self.p99_latency_us(),
+            "avg_core_cycles": self.average_core_cycles(),
+            "qps": self.qps(),
+            "latency_samples": self.latency.count,
+            "cycle_samples": len(self.core_cycles),
+        }
+
+    def __repr__(self):
+        return ("Metrics(requests=%d, replies=%d, drops=%d, "
+                "latency_samples=%d)" % (self.requests, self.replies,
+                                         self.drops, self.latency.count))
+
+
+def _histogram(samples, bins):
+    if not samples:
+        return []
+    low, high = min(samples), max(samples)
+    if high == low:
+        return [(low, high, len(samples))]
+    width = (high - low) / bins
+    counts = [0] * bins
+    for sample in samples:
+        index = min(int((sample - low) / width), bins - 1)
+        counts[index] += 1
+    return [(low + i * width, low + (i + 1) * width, counts[i])
+            for i in range(bins)]

@@ -8,16 +8,15 @@
   Emu 0.7x single-thread vs 1.2x multi-thread of the reference parser).
 """
 
+from repro.deploy import deploy
 from repro.harness.report import render_table
-from repro.harness.table4 import CLIENT_IP, SERVICE_IP
 from repro.ip.cam import BinaryCAM, RegisterCAM
 from repro.kiwi import compile_function, compile_threads
-from repro.net.dag import LatencyCapture
 from repro.net.workloads import memaslap_mix
 from repro.rtl import estimate_resources
 from repro.services import MemcachedService
+from repro.services.catalog import CLIENT_IP, SERVICE_IP
 from repro.services.switch import switch_kernel
-from repro.targets.fpga import FpgaTarget
 
 
 def cam_ip_vs_language(depth=64, key_width=48, value_width=8):
@@ -84,15 +83,15 @@ def memcached_storage_latency(count=400, seed=23):
     """
     results = {}
     for storage in ("onchip", "dram"):
-        service = MemcachedService(my_ip=SERVICE_IP, storage=storage)
-        target = FpgaTarget(service, seed=seed)
-        capture = LatencyCapture()
+        target = deploy(
+            lambda storage=storage: MemcachedService(
+                my_ip=SERVICE_IP, storage=storage),
+            name="memcached-%s" % storage) \
+            .on("fpga").with_seed(seed).start()
         for frame in memaslap_mix(SERVICE_IP, CLIENT_IP, count=count,
                                   seed=seed):
-            _, latency_ns = target.send(frame)
-            if latency_ns is not None:
-                capture.record(latency_ns)
-        results[storage] = capture
+            target.send(frame)
+        results[storage] = target.metrics.latency
     rows = [[storage, "%.3f" % cap.average_us(), "%.3f" % cap.p99_us(),
              "%.4f" % cap.stddev_us()]
             for storage, cap in results.items()]

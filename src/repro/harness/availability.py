@@ -21,7 +21,7 @@ Everything is seeded, so a run is exactly reproducible — the
 benchmark asserts determinism by running twice and comparing.
 """
 
-from repro.cluster import ClusterTarget, PrimaryReplica, memcached_is_write
+from repro.cluster import PrimaryReplica, memcached_is_write
 from repro.cluster.balancer import memcached_key
 from repro.cluster.target import REQUEST_TIMEOUT_NS
 from repro.core.protocols.memcached import (
@@ -29,18 +29,14 @@ from repro.core.protocols.memcached import (
 )
 from repro.core.protocols.udp import UDPWrapper
 from repro.core.protocols.udp import build_udp
+from repro.deploy import deploy
 from repro.harness.multicore import memaslap_frames, memaslap_rw_pair
 from repro.harness.report import render_table
-from repro.harness.table4 import CLIENT_IP, SERVICE_IP
 from repro.net.packet import Frame
-from repro.netsim.faults import FaultInjector, FaultPlan
-from repro.services import MemcachedService
+from repro.netsim.faults import FaultPlan
+from repro.services.catalog import CLIENT_IP, SERVICE_IP
 
 DEFAULT_MACS = (0x02_00_00_00_00_01, 0x02_00_00_00_00_AA)
-
-
-def _factory():
-    return MemcachedService(my_ip=SERVICE_IP)
 
 
 def _get_frame(key):
@@ -117,10 +113,12 @@ def run_availability(num_shards=8, windows=12, per_window=256,
         raise ValueError("flush_every must be >= 1")
     if policy_factory is None:
         policy_factory = lambda: PrimaryReplica(1)   # noqa: E731
-    cluster = ClusterTarget(_factory, num_shards=num_shards,
-                            policy=policy_factory(),
-                            is_write=memcached_is_write, seed=seed,
-                            suspect_after=suspect_after)
+
+    deployment = deploy("memcached") \
+        .on("cluster", shards=num_shards, policy=policy_factory(),
+            is_write=memcached_is_write, suspect_after=suspect_after) \
+        .with_seed(seed).start()
+    cluster = deployment.target
     if victim is None:
         victim = cluster.shard_ids[num_shards // 2]
 
@@ -136,7 +134,7 @@ def run_availability(num_shards=8, windows=12, per_window=256,
         # restore via a closure so the rejoin's remap statistics land
         # in the report rather than being discarded.
         plan.at(restore_window, record_rejoin, "restore %s" % victim)
-    injector = FaultInjector(plan, cluster)
+    injector = deployment.inject_faults(plan)
 
     # Per-request service time of one shard on this mix (the window
     # clock: shards run in parallel, so a window takes as long as its
@@ -226,7 +224,7 @@ def run_availability(num_shards=8, windows=12, per_window=256,
             note = "restore %s" % victim
         rows.append(["%d" % window, "%.3f" % (qps / 1e6),
                      "%d" % report.window_failures[window], note])
-    report.text = render_table(
+    report.text = deployment.describe() + "\n\n" + render_table(
         ["Window", "Throughput (Mq/s)", "Timeouts", "Event"], rows,
         title="Chaos run: %d shards, kill@%d%s, seed %d" % (
             num_shards, kill_window,

@@ -2,28 +2,33 @@
 
 The §5.4 experiment scales one device to four cores (3.7x on the 90/10
 memaslap mix, capped by write replication); this harness runs the same
-mix against a :class:`~repro.cluster.target.ClusterTarget` and measures
+mix against a cluster deployment and measures
 
 * aggregate throughput vs shard count (the hottest shard saturates
   first, so the consistent-hash ring's measured load imbalance scales
   the per-shard budget),
 * the ring's max/mean load imbalance under the real workload, and
 * the rebalance cost of removing one shard (fraction of keys remapped).
+
+Every cluster is constructed through ``deploy("memcached").on(
+"cluster", shards=N, ...)`` — the harness never touches a target
+constructor.
 """
 
-from repro.cluster import ClusterTarget, NoReplication, memcached_is_write
+from repro.cluster import NoReplication
+from repro.deploy import deploy
 from repro.harness.multicore import (
     memaslap_frames, memaslap_rw_pair, single_fpga_qps,
 )
 from repro.harness.report import render_table
-from repro.harness.table4 import SERVICE_IP
-from repro.services import MemcachedService
 
 ROUTED_REQUESTS = 2000          # enough traffic to measure imbalance
 
 
-def _factory():
-    return MemcachedService(my_ip=SERVICE_IP)
+def _cluster(count, policy, seed):
+    return deploy("memcached").on("cluster", shards=count,
+                                  policy=policy) \
+        .with_seed(seed).start()
 
 
 def run_cluster_scaling(shard_counts=(1, 2, 4, 8), write_ratio=0.1,
@@ -41,15 +46,16 @@ def run_cluster_scaling(shard_counts=(1, 2, 4, 8), write_ratio=0.1,
                                seed=seed + 2)
 
     results = {}
+    deployments = []
     rows = [["1 (single FPGA)", "%.3f" % (single_qps / 1e6), "1.00",
              "-"]]
     for count in shard_counts:
-        cluster = ClusterTarget(_factory, num_shards=count,
-                                policy=policy_factory(),
-                                is_write=memcached_is_write, seed=seed)
+        cluster = _cluster(count, policy_factory(), seed)
+        deployments.append(repr(cluster))
         cluster.send_batch([frame.copy() for frame in workload])
-        imbalance = cluster.load_imbalance()
-        aggregate = cluster.max_qps(read_frame, write_frame, write_ratio)
+        imbalance = cluster.target.load_imbalance()
+        aggregate = cluster.max_qps(read_frame, write_frame,
+                                    write_ratio)
         speedup = aggregate / single_qps
         results[count] = (aggregate, speedup, imbalance)
         rows.append(["%d shards" % count, "%.3f" % (aggregate / 1e6),
@@ -60,13 +66,14 @@ def run_cluster_scaling(shard_counts=(1, 2, 4, 8), write_ratio=0.1,
          "Load imbalance"],
         rows, title="Cluster scale-out, memaslap %d%%/%d%% GET/SET"
         % (round(100 * (1 - write_ratio)), round(100 * write_ratio)))
+    # What each row actually ran, for the benchmark logs.
+    text += "\n" + "\n".join(deployments)
     return single_qps, results, text
 
 
 def run_rebalance_cost(num_shards=8, key_space=1024, seed=17):
     """Remove one of *num_shards* shards; report the remap fraction."""
-    cluster = ClusterTarget(_factory, num_shards=num_shards,
-                            is_write=memcached_is_write, seed=seed)
+    cluster = _cluster(num_shards, None, seed).target
     sample = [("k%05d" % index).encode() for index in range(key_space)]
     victim = cluster.shard_ids[num_shards // 2]
     stats = cluster.remove_shard(victim, sample_keys=sample)

@@ -3,15 +3,17 @@
 "Using four Emu cores (one per port) further increases [throughput]
 by 3.7x when considering a workload of 90% GET and 10% SET requests.
 SET requests must be applied to all instances."
+
+Targets are built through :func:`repro.deploy.deploy` ("fpga" for the
+single-device baseline, "multicore" for the scaled run); the memcached
+spec supplies the service factory and write classifier.
 """
 
 from repro.core.protocols.memcached import memcached_is_write as _is_write
+from repro.deploy import deploy
 from repro.harness.report import render_table
-from repro.harness.table4 import CLIENT_IP, SERVICE_IP
 from repro.net.workloads import memaslap_mix
-from repro.services import MemcachedService
-from repro.targets.fpga import FpgaTarget
-from repro.targets.multicore import MultiCoreTarget
+from repro.services.catalog import CLIENT_IP, SERVICE_IP
 
 
 def memaslap_frames(get_ratio, count=64, seed=17):
@@ -31,15 +33,12 @@ def memaslap_rw_pair(seed=17):
 
 
 def single_fpga_qps(write_ratio=0.1, seed=17, rw_pair=None):
-    """One FpgaTarget serving the whole mix serially (the baseline
+    """One FPGA device serving the whole mix serially (the baseline
     every scaling experiment compares against).  Pass *rw_pair* when
     the caller already generated the representative frames."""
     read_frame, write_frame = rw_pair or memaslap_rw_pair(seed)
-    single = FpgaTarget(MemcachedService(my_ip=SERVICE_IP), seed=seed)
-    read_qps = single.max_qps(read_frame.copy())
-    write_qps = single.max_qps(write_frame.copy())
-    return 1.0 / (write_ratio / write_qps +
-                  (1.0 - write_ratio) / read_qps)
+    single = deploy("memcached").on("fpga").with_seed(seed).start()
+    return single.max_qps(read_frame, write_frame, write_ratio)
 
 
 def run_multicore_scaling(num_cores=4, write_ratio=0.1, seed=17):
@@ -47,15 +46,12 @@ def run_multicore_scaling(num_cores=4, write_ratio=0.1, seed=17):
 
     Returns ``(single_qps, multi_qps, speedup, text)``.
     """
-    def factory():
-        return MemcachedService(my_ip=SERVICE_IP)
-
     read_frame, write_frame = memaslap_rw_pair(seed)
     single_qps = single_fpga_qps(write_ratio, seed,
                                  rw_pair=(read_frame, write_frame))
 
-    multi = MultiCoreTarget(factory, num_cores=num_cores, seed=seed,
-                            is_write=_is_write)
+    multi = deploy("memcached").on("multicore", cores=num_cores) \
+        .with_seed(seed).start()
     multi_qps = multi.max_qps(read_frame, write_frame, write_ratio)
     speedup = multi_qps / single_qps
 
@@ -70,13 +66,10 @@ def run_multicore_scaling(num_cores=4, write_ratio=0.1, seed=17):
 
 def functional_replication_check(num_cores=4, seed=17):
     """SETs reach every core; GETs are answered by the local core."""
-    def factory():
-        return MemcachedService(my_ip=SERVICE_IP)
-
-    multi = MultiCoreTarget(factory, num_cores=num_cores, seed=seed,
-                            is_write=_is_write)
+    multi = deploy("memcached").on("multicore", cores=num_cores) \
+        .with_seed(seed).start()
     set_frames = [f for f in memaslap_frames(0.0, count=4, seed=seed + 2)
                   if _is_write(f)]
     frame = set_frames[0]
-    multi.send(frame.copy(), port=1)
-    return [len(target.service._store) for target in multi.cores]
+    multi.target.send(frame.copy(), port=1)
+    return [len(core.service._store) for core in multi.target.cores]

@@ -14,6 +14,7 @@ through the targets' ``opt_level`` threading.
 """
 
 from repro.core.protocols.icmp import build_icmp_echo_request
+from repro.deploy import deploy
 from repro.errors import CompileError
 from repro.harness.report import render_table
 from repro.kiwi import compile_function
@@ -200,5 +201,57 @@ def run_opt_comparison(opt_levels=(0, 1, 2), cases=None):
          "Logic (LUT-eq)", "Cycles/request", "Cycle reduction"],
         rows,
         title="Optimizing compiler: -O%d vs -O%d per service kernel"
+              % (opt_levels[0], opt_levels[-1]))
+    return data, text
+
+
+def deployable_kernel_services():
+    """Registry services with a flat kernel (the ones ``with_opt``
+    switches to compiled-kernel cycle counting)."""
+    from repro.services.catalog import registry
+    return tuple(sorted(name for name, spec in registry().items()
+                        if spec.has_kernel))
+
+
+def run_deployment_comparison(count=200, seed=9, opt_levels=(0, 2)):
+    """The same comparison end-to-end through the Deployment API.
+
+    :func:`run_opt_comparison` measures kernels on the bare simulator;
+    this deploys each kernel-backed registry service on the fpga
+    backend at each level and reads cycles/latency off the uniform
+    metrics — proving the opt threading works through the whole spine,
+    not just the compiler.  Returns ``(data, text)`` where
+    ``data[name][level]`` has ``cycles`` and ``avg_us``.
+    """
+    from repro.services.catalog import registry
+    specs = registry()
+    data = {}
+    rows = []
+    for name in deployable_kernel_services():
+        spec = specs[name]
+        # The memcached kernel implements the binary datapath; measure
+        # the path it compiles, not the ASCII early-reject.
+        options = {"protocol": "binary"} if name == "memcached" else {}
+        per_level = {}
+        for level in opt_levels:
+            dep = deploy(spec).on("fpga").with_seed(seed) \
+                .with_opt(level).start()
+            dep.run(count=count, seed=seed, **options)
+            per_level[level] = {
+                "cycles": dep.metrics.average_core_cycles(),
+                "avg_us": dep.metrics.average_latency_us(),
+            }
+        data[name] = per_level
+        base = per_level[opt_levels[0]]
+        best = per_level[opt_levels[-1]]
+        rows.append([
+            name,
+            "%.1f -> %.1f" % (base["cycles"], best["cycles"]),
+            "%.3f -> %.3f" % (base["avg_us"], best["avg_us"]),
+        ])
+    text = render_table(
+        ["Service", "Avg cycles/request", "Avg latency (us)"],
+        rows,
+        title="Deployment API: fpga backend at -O%d vs -O%d"
               % (opt_levels[0], opt_levels[-1]))
     return data, text

@@ -1,33 +1,33 @@
 """Table 4: Emu-based services vs host-based services.
 
 For each of the five services: average latency, 99th-percentile
-latency, and maximum throughput — Emu (FPGA target) against the host
+latency, and maximum throughput — Emu (FPGA backend) against the host
 (Linux stack model).  Methodology follows §5.2: latency from DUT-only
 captures (DAG model) over *count* packets; throughput from the OSNT
 rate search.
+
+Services, workloads, and host baselines all come from
+:func:`repro.services.catalog`; the Emu side runs through
+:func:`repro.deploy.deploy`, so this module contains no
+target-specific wiring.
 """
 
+from repro.deploy import deploy
 from repro.harness.report import render_table
-from repro.hoststack import (
-    host_dns, host_icmp_echo, host_memcached, host_nat, host_tcp_ping,
-)
 from repro.net.dag import LatencyCapture
 from repro.net.osnt import OsntTrafficGenerator
-from repro.net.packet import ip_to_int
-from repro.net.workloads import (
-    dns_query_stream, memaslap_mix, ping_flood, tcp_syn_stream,
+from repro.services.catalog import (
+    CLIENT_IP, DNS_NAMES, PUBLIC_IP, SERVICE_IP, registry,
 )
-from repro.services import (
-    DnsServerService, IcmpEchoService, MemcachedService, NatService,
-    TcpPingService,
-)
-from repro.targets.fpga import FpgaTarget
 
-SERVICE_IP = ip_to_int("10.0.0.1")
-CLIENT_IP = ip_to_int("10.0.0.2")
-PUBLIC_IP = ip_to_int("198.51.100.1")
-
-DNS_NAMES = ["host%02d.example" % i for i in range(16)]
+#: Table 4 display name -> registry entry.
+TABLE4_SERVICES = [
+    ("ICMP Echo", "icmp"),
+    ("TCP Ping", "tcp_ping"),
+    ("DNS", "dns"),
+    ("NAT", "nat"),
+    ("Memcached", "memcached"),
+]
 
 
 class ServiceResult:
@@ -66,86 +66,50 @@ def _service_workloads(count, seed=3, memcached_protocol="ascii"):
     protocol (the paper-initial datapath the compiled kernel
     implements — required when cycles come from the kernel model).
     """
-    def dns_factory():
-        return DnsServerService(
-            my_ip=SERVICE_IP,
-            table={name: ip_to_int("192.0.2.%d" % (i + 1))
-                   for i, name in enumerate(DNS_NAMES)})
-
-    return [
-        ("ICMP Echo",
-         lambda: IcmpEchoService(my_ip=SERVICE_IP),
-         host_icmp_echo,
-         lambda: ping_flood(SERVICE_IP, CLIENT_IP, count=count)),
-        ("TCP Ping",
-         lambda: TcpPingService(my_ip=SERVICE_IP, open_ports=(7,)),
-         host_tcp_ping,
-         lambda: tcp_syn_stream(SERVICE_IP, CLIENT_IP, dst_port=7,
-                                count=count, seed=seed)),
-        ("DNS",
-         dns_factory,
-         host_dns,
-         lambda: dns_query_stream(SERVICE_IP, CLIENT_IP, DNS_NAMES,
-                                  count=count, seed=seed)),
-        ("NAT",
-         lambda: NatService(public_ip=PUBLIC_IP),
-         host_nat,
-         lambda: _nat_outbound_stream(count, seed)),
-        ("Memcached",
-         lambda: MemcachedService(my_ip=SERVICE_IP),
-         host_memcached,
-         lambda: memaslap_mix(SERVICE_IP, CLIENT_IP, count=count,
-                              seed=seed,
-                              protocol=memcached_protocol)),
-    ]
+    specs = registry()
+    rows = []
+    for display, name in TABLE4_SERVICES:
+        spec = specs[name]
+        options = {}
+        if name == "memcached":
+            options["protocol"] = memcached_protocol
+        rows.append((display, spec.factory, spec.host_wrapper,
+                     _workload_factory(spec, count, seed, options)))
+    return rows
 
 
-def _nat_outbound_stream(count, seed):
-    """UDP flows from the LAN side through the gateway (§5.4 setup)."""
-    from repro.core.protocols.udp import build_udp
-    from repro.net.packet import Frame
-    import random
-    rng = random.Random(seed)
-    remote = ip_to_int("203.0.113.9")
-    for index in range(count):
-        frame = Frame(build_udp(
-            0x02_00_00_00_00_05, 0x02_00_00_00_00_AA,
-            CLIENT_IP, remote, rng.randint(2000, 60000), 53,
-            b"payload-%04d" % (index % 10000)), src_port=0)
-        yield frame.pad()
+def _workload_factory(spec, count, seed, options):
+    def factory():
+        return spec.workload(count, seed, **options)
+    return factory
 
 
 def measure_service(name, emu_factory, host_wrapper, workload_factory,
                     count=2000, seed=3, opt_level=None):
     """Measure one Table 4 row (Emu and host sides).
 
-    *opt_level* is threaded to the FPGA target: services with a flat
+    *opt_level* is threaded to the FPGA backend: services with a flat
     kernel then charge core cycles measured on the Kiwi-compiled design
     at that level (optimized vs. unoptimized rows become comparable);
-    ``None`` keeps the behavioural pause-count.
+    services without one keep the behavioural pause-count (the deploy
+    layer's fallback).
     """
     result = ServiceResult(name)
     osnt = OsntTrafficGenerator(resolution_qps=100.0)
 
     # -- Emu side ----------------------------------------------------------
-    emu_service = emu_factory()
-    if opt_level is not None and \
-            not hasattr(emu_service, "kernel_cycle_model"):
-        opt_level = None            # no kernel: behavioural counting
-    emu = FpgaTarget(emu_service, seed=seed, opt_level=opt_level)
-    capture = LatencyCapture()
+    emu = deploy(emu_factory, name=name).on("fpga") \
+        .with_seed(seed).with_opt(opt_level).start()
     probe_frame = None
     for frame in workload_factory():
         if probe_frame is None:
             probe_frame = frame.copy()
-        _, latency_ns = emu.send(frame)
-        if latency_ns is not None:
-            capture.record(latency_ns)
-    result.emu_avg_us = capture.average_us()
-    result.emu_p99_us = capture.p99_us()
-    result.emu_mqps = osnt.measure(
-        FpgaTarget(emu_factory(), seed=seed, opt_level=opt_level),
-        probe_frame) / 1e6
+        emu.send(frame)
+    result.emu_avg_us = emu.metrics.average_latency_us()
+    result.emu_p99_us = emu.metrics.p99_latency_us()
+    rate_dep = deploy(emu_factory, name=name).on("fpga") \
+        .with_seed(seed).with_opt(opt_level).start()
+    result.emu_mqps = osnt.measure(rate_dep, probe_frame) / 1e6
 
     # -- host side ---------------------------------------------------------
     host = host_wrapper(emu_factory(), seed=seed)

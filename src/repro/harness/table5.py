@@ -10,20 +10,18 @@ Performance: the service runs on the FPGA target wrapped in
 latency and query rate are compared against the bare run.
 """
 
+from repro.deploy import deploy
 from repro.direction.controller import Controller
 from repro.direction.extension import DirectedService
 from repro.harness.report import render_table
-from repro.harness.table4 import (
-    CLIENT_IP, DNS_NAMES, SERVICE_IP, dns_query_stream, memaslap_mix,
-)
 from repro.kiwi import compile_function
-from repro.net.dag import LatencyCapture
-from repro.net.packet import ip_to_int
+from repro.net.workloads import dns_query_stream, memaslap_mix
 from repro.rtl import estimate_resources
-from repro.services import DnsServerService, MemcachedService
 from repro.services.dns_server import dns_kernel
 from repro.services.memcached import memcached_kernel
-from repro.targets.fpga import FpgaTarget
+from repro.services.catalog import (
+    CLIENT_IP, DNS_NAMES, SERVICE_IP, make_dns, make_memcached,
+)
 
 FEATURE_VARIANTS = [
     ("+R", ("read",)),
@@ -60,17 +58,19 @@ def _measure_performance(service_factory, workload_factory, features,
         else:
             command = "print %s" % variable
         service.controller.install("main_loop", command)
-    target = FpgaTarget(service, seed=seed)
-    capture = LatencyCapture()
+    # The *same service instance* backs both measurements (the
+    # installed direction command is live state), so the ad-hoc spec's
+    # factory hands it out rather than building fresh ones.
+    target = deploy(lambda: service, name="table5") \
+        .on("fpga").with_seed(seed).start()
     probe = None
     for frame in workload_factory(count):
         if probe is None:
             probe = frame.copy()
-        _, latency_ns = target.send(frame)
-        if latency_ns is not None:
-            capture.record(latency_ns)
-    qps = FpgaTarget(service, seed=seed).max_qps(probe)
-    return capture.p99_us(), qps
+        target.send(frame)
+    qps = deploy(lambda: service, name="table5") \
+        .on("fpga").with_seed(seed).start().max_qps(probe)
+    return target.metrics.p99_latency_us(), qps
 
 
 def performance_profile(service_factory, workload_factory, count=600,
@@ -87,19 +87,12 @@ def performance_profile(service_factory, workload_factory, count=600,
     return rows
 
 
-def _dns_factory():
-    return DnsServerService(
-        my_ip=SERVICE_IP,
-        table={name: ip_to_int("192.0.2.%d" % (i + 1))
-               for i, name in enumerate(DNS_NAMES)})
+_dns_factory = make_dns
+_memcached_factory = make_memcached
 
 
 def _dns_workload(count):
     return dns_query_stream(SERVICE_IP, CLIENT_IP, DNS_NAMES, count=count)
-
-
-def _memcached_factory():
-    return MemcachedService(my_ip=SERVICE_IP)
 
 
 def _memcached_workload(count):

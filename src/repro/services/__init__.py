@@ -29,8 +29,21 @@ from repro.services.memcached import MemcachedService
 from repro.services.nat import NatService
 from repro.services.kvcache import KVCacheService
 
+
+def registry():
+    """name -> :class:`~repro.deploy.spec.ServiceSpec` for every
+    deployable service (see :mod:`repro.services.catalog`).
+
+    Imported lazily: the registry pulls in the deploy layer, which
+    pulls in every backend — a cycle if resolved at package init
+    (``cluster.balancer`` is itself an Emu service).
+    """
+    from repro.services.catalog import registry as _registry
+    return _registry()
+
 __all__ = [
     "EmuService", "LearningSwitch", "FilterRule", "L3L4Filter",
     "FilteringSwitch", "IcmpEchoService", "TcpPingService",
     "DnsServerService", "MemcachedService", "NatService", "KVCacheService",
+    "registry",
 ]

@@ -12,10 +12,18 @@ from repro.net.interfaces import VirtualInterface
 
 
 class CpuTarget:
-    """Run a service over a set of virtual network interfaces."""
+    """Run a service over a set of virtual network interfaces.
 
-    def __init__(self, service, num_ports=4):
+    *seed* is accepted for uniformity with the other targets (the
+    :mod:`repro.deploy` layer threads one seed to every backend).
+    Software semantics are deterministic, so the seed changes nothing
+    here — but a call site no longer needs to know which targets
+    randomize and which don't.
+    """
+
+    def __init__(self, service, num_ports=4, seed=1):
         self.service = service
+        self.seed = seed
         self.interfaces = [VirtualInterface("veth%d" % port)
                            for port in range(num_ports)]
         self.frames_processed = 0

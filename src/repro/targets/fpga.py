@@ -103,7 +103,9 @@ class FpgaTarget:
         self.pipeline = NetfpgaPipeline(service, num_ports,
                                         cycle_model=cycle_model)
         self.timing = FpgaTimingModel(seed)
+        self.seed = seed
         self.latencies_ns = []
+        self.core_cycle_counts = []
 
     def _extra_cycles(self, frame):
         """Byte-serial datapath work beyond the handler's own pauses.
@@ -121,6 +123,7 @@ class FpgaTarget:
     def send(self, frame):
         """One request through the DUT; returns (emitted, latency_ns)."""
         emitted, core_cycles = self.pipeline.process_frame(frame)
+        self.core_cycle_counts.append(core_cycles)
         for port, _ in emitted:
             self.pipeline.drain_port(port)   # the wire pulls frames off
         if not emitted:

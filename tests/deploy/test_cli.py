@@ -1,0 +1,48 @@
+"""Smoke tests for the ``python -m repro.deploy`` CLI driver."""
+
+import pytest
+
+from repro.deploy.__main__ import main
+
+
+def test_list_services(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("memcached", "dns", "nat", "switch"):
+        assert name in out
+
+
+@pytest.mark.parametrize("backend,extra", [
+    ("cpu", []),
+    ("fpga", ["--opt", "1"]),
+    ("cluster", ["--shards", "2"]),
+    ("multicore", ["--cores", "2"]),
+])
+def test_deploy_and_run(capsys, backend, extra):
+    code = main(["--service", "memcached", "--backend", backend,
+                 "--requests", "16", "--seed", "9"] + extra)
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Deployment: memcached on %s" % backend in out
+    assert "requests" in out
+    assert "probe reply on port" in out
+
+
+def test_default_invocation_is_cheap(capsys):
+    assert main(["--requests", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "memcached on cpu" in out
+
+
+def test_unknown_service_errors():
+    from repro.errors import TargetError
+    with pytest.raises(TargetError):
+        main(["--service", "nope", "--requests", "1"])
+
+
+def test_matrix_flag(capsys):
+    # Tiny count: the full-depth matrix lives in test_conformance.
+    assert main(["--matrix", "--requests", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Backend conformance" in out
+    assert "MISMATCH" not in out

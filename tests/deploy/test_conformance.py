@@ -1,0 +1,100 @@
+"""Backend conformance: same service + same trace => same replies.
+
+The §3.3 claim as a test matrix: every registry service's shard-safe
+trace replays through every backend the spec supports, and the reply
+signature — (port, bytes) per request, in order — must equal the CPU
+target's (software semantics, the ground truth).  Latency differs by
+design; replies may not.
+
+Seeded per tests/README: the trace seed is fixed per cell by SEED, so
+a failing cell reproduces exactly.
+"""
+
+import pytest
+
+from repro.deploy.conformance import BACKEND_CASES, run_case
+from repro.services.catalog import registry
+
+SEED = 7
+COUNT = 24
+
+SPECS = registry()
+_BASELINES = {}
+
+
+def _baseline(spec):
+    """The CPU-target signature for this spec's trace (cached: every
+    non-cpu cell compares against the same ground truth)."""
+    if spec.name not in _BASELINES:
+        _BASELINES[spec.name], _ = run_case(
+            spec, "cpu", "cpu", {}, None, count=COUNT, seed=SEED)
+    return _BASELINES[spec.name]
+
+
+def _matrix_cells():
+    cells = []
+    for name in sorted(SPECS):
+        spec = SPECS[name]
+        for label, backend_name, kwargs, opt_level in BACKEND_CASES:
+            if backend_name == "cpu":
+                continue            # the baseline itself
+            if not spec.supports(backend_name):
+                continue
+            cells.append(pytest.param(
+                name, label, backend_name, kwargs, opt_level,
+                id="%s-%s" % (name, label.replace(" ", ""))))
+    return cells
+
+
+@pytest.mark.parametrize(
+    "service,label,backend_name,kwargs,opt_level", _matrix_cells())
+def test_replies_match_cpu_baseline(service, label, backend_name,
+                                    kwargs, opt_level):
+    spec = SPECS[service]
+    signature, dep = run_case(spec, label, backend_name, kwargs,
+                              opt_level, count=COUNT, seed=SEED)
+    assert signature == _baseline(spec), \
+        "%s on %s diverged from software semantics" % (service, label)
+
+    # Uniform observability: every backend filled the same counters
+    # through the same code path.
+    snapshot = dep.stats()
+    assert snapshot["requests"] == COUNT
+    assert snapshot["replies"] == sum(len(per_request)
+                                      for per_request in signature)
+    assert snapshot["drops"] == sum(1 for per_request in signature
+                                    if not per_request)
+
+
+@pytest.mark.parametrize("service", sorted(SPECS))
+def test_metrics_shape_is_consistent(service):
+    """Every backend's snapshot has the same keys (empty where a
+    backend has nothing to measure, never missing)."""
+    spec = SPECS[service]
+    shapes = set()
+    for label, backend_name, kwargs, opt_level in BACKEND_CASES:
+        if not spec.supports(backend_name):
+            continue
+        _, dep = run_case(spec, label, backend_name, kwargs, opt_level,
+                          count=4, seed=SEED)
+        keys = frozenset(dep.metrics.snapshot())
+        shapes.add(keys)
+    assert len(shapes) == 1
+
+
+def test_every_spec_supports_the_ground_truth_backends():
+    """cpu (the baseline) and fpga (the paper's target) are
+    mandatory; the matrix is meaningless without them."""
+    for spec in SPECS.values():
+        assert spec.supports("cpu")
+        assert spec.supports("fpga")
+
+
+def test_cluster_trace_is_shard_safe():
+    """The nat trace pins one flow (its 5-tuple is the routing key);
+    the memcached trace keys GET/SET pairs identically — the property
+    the matrix relies on for stateful services."""
+    from repro.cluster.balancer import flow_key
+    nat_keys = {flow_key(f.data)
+                for f in SPECS["nat"].trace(16, SEED)}
+    assert len(nat_keys) == 1

@@ -1,0 +1,76 @@
+"""The uniform Metrics object: accounting, histograms, snapshots."""
+
+from repro.deploy.metrics import Metrics
+from repro.net.packet import Frame
+
+
+def _frame():
+    return Frame(b"\x00" * 64)
+
+
+class TestRecording:
+    def test_reply_and_drop_accounting(self):
+        metrics = Metrics()
+        metrics.record([(0, _frame())], 1000.0)
+        metrics.record([(0, _frame()), (1, _frame())], 2000.0)
+        metrics.record([], None)
+        assert metrics.requests == 3
+        assert metrics.replies == 3
+        assert metrics.drops == 1
+        assert abs(metrics.reply_rate - 2.0 / 3.0) < 1e-12
+
+    def test_latency_only_recorded_when_present(self):
+        metrics = Metrics()
+        metrics.record([(0, _frame())], None)     # cpu backend shape
+        metrics.record([(0, _frame())], 500.0)
+        assert metrics.latency.count == 1
+        assert metrics.average_latency_us() == 0.5   # 500 ns
+
+    def test_cycles_feed_the_cycle_histogram(self):
+        metrics = Metrics()
+        for cycles in (5, 5, 7, 11):
+            metrics.record([(0, _frame())], 100.0, core_cycles=cycles)
+        assert metrics.average_core_cycles() == 7.0
+        histogram = metrics.cycle_histogram(bins=2)
+        assert sum(count for _, _, count in histogram) == 4
+
+    def test_qps_is_serial_replay_rate(self):
+        metrics = Metrics()
+        metrics.record([(0, _frame())], 1000.0)
+        metrics.record([(0, _frame())], 1000.0)
+        assert abs(metrics.qps() - 1e6) < 1e-6
+
+
+class TestEmptyShapes:
+    def test_empty_snapshot_has_every_key(self):
+        snapshot = Metrics().snapshot()
+        for key in ("requests", "replies", "drops", "batches",
+                    "reply_rate", "avg_latency_us", "p99_latency_us",
+                    "avg_core_cycles", "qps", "latency_samples",
+                    "cycle_samples"):
+            assert key in snapshot
+        assert snapshot["avg_latency_us"] is None
+        assert snapshot["qps"] is None
+
+    def test_empty_histograms(self):
+        metrics = Metrics()
+        assert metrics.latency_histogram() == []
+        assert metrics.cycle_histogram() == []
+
+
+class TestHistogram:
+    def test_single_value_collapses_to_one_bin(self):
+        metrics = Metrics()
+        metrics.record([(0, _frame())], 100.0, core_cycles=6)
+        metrics.record([(0, _frame())], 100.0, core_cycles=6)
+        assert metrics.cycle_histogram() == [(6, 6, 2)]
+
+    def test_bins_cover_the_range(self):
+        metrics = Metrics()
+        for cycles in range(10):
+            metrics.record([(0, _frame())], 100.0, core_cycles=cycles)
+        histogram = metrics.cycle_histogram(bins=3)
+        assert len(histogram) == 3
+        assert histogram[0][0] == 0
+        assert histogram[-1][1] == 9
+        assert sum(count for _, _, count in histogram) == 10
