@@ -1,0 +1,93 @@
+"""Gating engine benchmark: interpreter vs compiled execution spine.
+
+Measures simulated-requests-per-wall-second on the memcached kernel —
+the paper's flagship service — through the interpreted netlist
+:class:`~repro.rtl.simulator.Simulator` and through the engine's
+exec-compiled closures, on the *same* warm request stream (alternating
+binary SET/GET so the key-value memories stay hot).  The replies are
+cross-checked request for request, so the speedup cannot come from a
+miscompile.
+
+The ``FLOOR`` (>= 5x) is gating: this benchmark failing means the
+engine has regressed to interpretation speed.  Results land in
+``BENCH_engine.json`` at the repo root, which the CI perf job uploads.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.engine import compile_design
+from repro.harness.optimization import memcached_binary_frame
+from repro.harness.report import render_table
+from repro.kiwi.compiler import compile_function
+from repro.services.memcached import memcached_kernel
+
+FLOOR = 5.0
+INTERPRETER_REQUESTS = 40
+ENGINE_REQUESTS = 2000
+MY_IP = 0x0A000001
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _request_stream(count):
+    key = b"abc123"
+    set_frame = memcached_binary_frame(1, key, bytes(range(8)))
+    get_frame = memcached_binary_frame(0, key)
+    return [set_frame if index % 2 == 0 else get_frame
+            for index in range(count)]
+
+
+def _measure(run_one, count):
+    frames = _request_stream(count)
+    replies = []
+    start = time.perf_counter()
+    for frame in frames:
+        replies.append(run_one(frame))
+    elapsed = time.perf_counter() - start
+    return count / elapsed, replies
+
+
+def test_engine_speedup_on_memcached_kernel():
+    design = compile_function(memcached_kernel, opt_level=0)
+    sim = design.simulator()
+    interp_rps, interp_replies = _measure(
+        lambda frame: design.run_on(
+            sim, memories={"frame": list(frame)}, my_ip=MY_IP)[:2],
+        INTERPRETER_REQUESTS)
+
+    kernel = compile_design(design)
+    engine_rps, engine_replies = _measure(
+        lambda frame: kernel.run(
+            memories={"frame": list(frame)}, my_ip=MY_IP)[:2],
+        ENGINE_REQUESTS)
+
+    # Byte-identical behaviour on the shared prefix (results + cycles).
+    shared = min(len(interp_replies), len(engine_replies))
+    assert engine_replies[:shared] == interp_replies[:shared]
+
+    speedup = engine_rps / interp_rps
+    record = {
+        "kernel": "memcached",
+        "opt_level": 0,
+        "interpreter_requests": INTERPRETER_REQUESTS,
+        "engine_requests": ENGINE_REQUESTS,
+        "interpreter_rps": round(interp_rps, 1),
+        "engine_rps": round(engine_rps, 1),
+        "speedup": round(speedup, 2),
+        "floor": FLOOR,
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    print()
+    print(render_table(
+        ["Executor", "Simulated requests/s", "Speedup"],
+        [["interpreted Simulator", "%.1f" % interp_rps, "1.00x"],
+         ["compiled engine", "%.1f" % engine_rps,
+          "%.2fx" % speedup]],
+        title="Engine speedup: memcached kernel (floor >= %.0fx)"
+              % FLOOR))
+
+    assert speedup >= FLOOR, (
+        "engine regressed to %.2fx (< %.0fx floor); see %s"
+        % (speedup, FLOOR, BENCH_PATH))

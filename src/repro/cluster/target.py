@@ -277,11 +277,21 @@ class ClusterTarget:
 
     # -- dispatch -----------------------------------------------------------
 
-    def _owner(self, frame):
+    def owner_of(self, frame):
+        """The shard id the ring routes *frame* to (``None`` when the
+        frame has no routable key).  Public so the deploy backend and
+        the open-loop load layer share the exact routing the cluster
+        uses, rather than re-deriving it."""
         key = self.key_fn(frame.data)
         if key is None:
-            raise ClusterError("frame has no routable key")
+            return None
         return self.ring.lookup(key)
+
+    def _owner(self, frame):
+        owner = self.owner_of(frame)
+        if owner is None:
+            raise ClusterError("frame has no routable key")
+        return owner
 
     def _apply_replicas(self, frame, owner_id):
         shard_ids = self._shard_order

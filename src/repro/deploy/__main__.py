@@ -33,6 +33,19 @@ def _parser():
                              "counting (0, 1 or 2)")
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--requests", type=int, default=256)
+    parser.add_argument("--arrivals", default=None,
+                        choices=["poisson", "uniform"],
+                        help="drive an open-loop arrival process "
+                             "instead of the closed-loop replay")
+    parser.add_argument("--qps", type=float, default=1_000_000.0,
+                        help="open-loop arrival rate (with --arrivals)")
+    parser.add_argument("--duration-ms", type=float, default=1.0,
+                        help="open-loop run length in simulated "
+                             "milliseconds (with --arrivals)")
+    parser.add_argument("--capacity", type=int, default=None,
+                        help="per-server ingest queue depth "
+                             "(with --arrivals; default: the NetFPGA "
+                             "ingress FIFO depth)")
     parser.add_argument("--shards", type=int, default=8,
                         help="cluster backend width")
     parser.add_argument("--cores", type=int, default=4,
@@ -81,9 +94,18 @@ def main(argv=None):
     dep.with_seed(args.seed)
     if args.opt is not None:
         dep.with_opt(args.opt)
+    if args.arrivals is not None:
+        dep.with_arrivals(args.arrivals, qps=args.qps,
+                          capacity=args.capacity)
     dep.start()
     print(dep.describe())
     print()
+
+    if args.arrivals is not None:
+        report = dep.run_open_loop(duration_ms=args.duration_ms)
+        print(report.text())
+        dep.stop()
+        return 0
 
     dep.run(count=args.requests)
     snapshot = dep.stats()

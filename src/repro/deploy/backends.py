@@ -131,6 +131,42 @@ class Backend:
         """Short human string for the describe() table ("8 shards")."""
         return "1 device"
 
+    # -- open-loop load (the engine's queueing model) -----------------------
+
+    def open_loop_servers(self):
+        """``(count, route)``: how many parallel service engines this
+        backend runs and which one a frame occupies.  Default: one
+        server, everything routes to it."""
+        return 1, (lambda frame: 0)
+
+    def open_loop_profile(self, frame):
+        """Process one admitted arrival; returns ``(emitted,
+        service_ns, overhead_ns)``.
+
+        *service_ns* is the time the request occupies its server (the
+        queueing resource); *overhead_ns* is the constant wire/PHY time
+        that pipelines perfectly and is simply added to the recorded
+        latency.  Backends without a timing model report zero service
+        time (no queueing) and their measured latency, if any, as
+        overhead.
+        """
+        emitted, latency_ns = self.send(frame)
+        return emitted, 0.0, float(latency_ns or 0.0)
+
+    def _profile_via(self, fpga_target, send):
+        """Shared fpga-shaped profile: *send* runs the request, the
+        occupancy comes from the target's recorded service time."""
+        before = len(fpga_target.service_times_ns)
+        emitted, latency_ns = send()
+        if len(fpga_target.service_times_ns) > before:
+            service_ns = fpga_target.service_times_ns[-1]
+        else:
+            service_ns = 0.0
+        overhead_ns = 0.0
+        if latency_ns is not None:
+            overhead_ns = max(0.0, latency_ns - service_ns)
+        return emitted, service_ns, overhead_ns
+
     # -- models / faults ----------------------------------------------------
 
     def max_qps(self, read_frame, write_frame=None, write_ratio=0.0):
@@ -201,6 +237,11 @@ class FpgaBackend(Backend):
         self._require_started()
         return self.target.send(frame)
 
+    def open_loop_profile(self, frame):
+        self._require_started()
+        return self._profile_via(self.target,
+                                 lambda: self.target.send(frame))
+
     def _fpga_targets(self):
         return [self.target] if self.target else []
 
@@ -242,7 +283,7 @@ class MultiCoreBackend(Backend):
 
     def send(self, frame):
         self._require_started()
-        serving_core = frame.src_port % self.target.num_cores
+        serving_core = self.target.serving_core(frame)
         result = self.target.send(frame)
         # Harvest per send, not per pop: a batch spreads requests over
         # different serving cores, and only the serving core's count
@@ -259,6 +300,18 @@ class MultiCoreBackend(Backend):
                     self._pending_cycles.extend(counts[offset:])
                 self._cycle_offsets[key] = len(counts)
         return result
+
+    def open_loop_servers(self):
+        self._require_started()
+        return self.target.num_cores, self.target.serving_core
+
+    def open_loop_profile(self, frame):
+        self._require_started()
+        serving = self.target.cores[self.target.serving_core(frame)]
+        # Route through self.send so the per-send cycle harvest keeps
+        # its one-sample-per-request invariant; occupancy is the
+        # serving core's (replica applies are background work).
+        return self._profile_via(serving, lambda: self.send(frame))
 
     def _fpga_targets(self):
         return self.target.cores if self.target else []
@@ -308,6 +361,27 @@ class ClusterBackend(Backend):
     def send_batch(self, frames):
         self._require_started()
         return self.target.send_batch(frames)
+
+    def open_loop_servers(self):
+        self._require_started()
+        target = self.target
+        count = max(1, target.num_shards)
+
+        def route(frame):
+            index = target._shard_index.get(target.owner_of(frame))
+            return 0 if index is None else index % count
+        return count, route
+
+    def open_loop_profile(self, frame):
+        self._require_started()
+        shard = self.target.shards.get(self.target.owner_of(frame))
+        if shard is None:
+            # No routable key: the balancer has nowhere to send it —
+            # no reply, no shard occupied (closed-loop send() raises
+            # here; an open-loop run records a drop and moves on).
+            return [], 0.0, 0.0
+        return self._profile_via(shard,
+                                 lambda: self.target.send(frame))
 
     def _fpga_targets(self):
         if not self.target:

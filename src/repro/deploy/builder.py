@@ -22,6 +22,7 @@ deployment is live and ``send``/``send_batch``/``run`` feed a uniform
 from repro.deploy.backends import resolve_backend
 from repro.deploy.metrics import Metrics
 from repro.deploy.spec import ServiceSpec
+from repro.engine.openloop import ArrivalSpec, run_open_loop
 from repro.errors import TargetError
 from repro.harness.report import render_table
 
@@ -52,9 +53,13 @@ class Deployment:
         self._opt_level = None
         self._seed = 1
         self._fault_plan = None
+        self._arrivals = None
         self.backend = None
         self.injector = None
         self.metrics = Metrics()
+        #: The last :class:`~repro.engine.openloop.OpenLoopReport`
+        #: produced by :meth:`run_open_loop`.
+        self.open_loop = None
 
     # -- fluent configuration ----------------------------------------------
 
@@ -91,6 +96,21 @@ class Deployment:
         (arbiter jitter, per-core/per-shard streams, fault links)."""
         self._require_not_started()
         self._seed = int(seed)
+        return self
+
+    def with_arrivals(self, process="poisson", qps=1_000_000.0,
+                      capacity=None):
+        """Open-loop arrival process for :meth:`run_open_loop`:
+        ``"poisson"`` (seeded exponential gaps) or ``"uniform"``
+        (fixed gaps) at *qps*, with per-server ingest queues of
+        *capacity* (default: the NetFPGA pipeline's ingress FIFO
+        depth, so model and pipeline agree on where tail-drop
+        starts)."""
+        self._require_not_started()
+        if capacity is None:
+            from repro.targets.pipeline import INPUT_QUEUE_DEPTH
+            capacity = INPUT_QUEUE_DEPTH
+        self._arrivals = ArrivalSpec(process, qps, capacity=capacity)
         return self
 
     def with_faults(self, plan):
@@ -184,6 +204,38 @@ class Deployment:
             self.send(frame.copy())
         return self.metrics
 
+    def run_open_loop(self, duration_ms=1.0, frames=None, seed=None,
+                      **options):
+        """Drive the configured arrival process for *duration_ms* of
+        virtual time; returns the
+        :class:`~repro.engine.openloop.OpenLoopReport` (also kept on
+        ``self.open_loop``).
+
+        Arrivals are independent of completions (open loop), so queues
+        form in front of the backend's service engines and the report's
+        p50/p99 come from actual waiting — overload shows up as queue
+        depth and tail-drops, not as a stretched closed-form average.
+        Requests come from the spec's default workload unless *frames*
+        is given.
+        """
+        self._require_started()
+        if self._arrivals is None:
+            raise TargetError(
+                "no arrival process configured; call "
+                ".with_arrivals(process, qps=...) before start()")
+        duration_ns = int(duration_ms * 1e6)
+        if duration_ns <= 0:
+            raise TargetError("duration must be positive")
+        seed = self._seed if seed is None else seed
+        if frames is None:
+            frames = (lambda count:
+                      self.spec.workload(count, seed, **options)
+                      if count else [])
+        self.open_loop = run_open_loop(
+            self.backend, self._arrivals, frames, duration_ns,
+            seed=seed)
+        return self.open_loop
+
     # -- models -------------------------------------------------------------
 
     def max_qps(self, read_frame, write_frame=None, write_ratio=0.0):
@@ -220,6 +272,10 @@ class Deployment:
         policy = self._backend_kwargs.get("policy")
         if policy is not None:
             rows.insert(3, ["policy", type(policy).__name__])
+        if self._arrivals is not None:
+            rows.insert(-1, ["arrivals", "%s @ %.0f qps"
+                             % (self._arrivals.process,
+                                self._arrivals.qps)])
         return render_table(["Parameter", "Value"], rows,
                             title="Deployment: %s on %s"
                                   % (self.spec.name, self._backend_name))

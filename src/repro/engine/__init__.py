@@ -1,0 +1,38 @@
+"""repro.engine — compiled execution spine + unified discrete-event
+runtime.
+
+Two halves, one goal (run the reproduction as fast as the hardware
+allows):
+
+* :mod:`repro.engine.compiler` compiles a Kiwi
+  :class:`~repro.kiwi.compiler.CompiledDesign` into exec-generated
+  Python closures — one step function per FSM state, expression DAGs
+  flattened to straight-line locals, memories as preallocated lists —
+  replacing per-cycle netlist interpretation on the hot path.
+  :mod:`repro.engine.verify` proves the compiled kernel equivalent to
+  the interpreted :class:`~repro.rtl.simulator.Simulator` on random
+  inputs (results, final memories, and same-level cycle counts).
+* :mod:`repro.engine.sched` is the one discrete-event scheduler every
+  layer now shares (the netsim event loop subclasses it), with
+  processes and bounded back-pressure queues;
+  :mod:`repro.engine.openloop` uses them to drive deployments with
+  open-loop arrivals so latency distributions are queueing-derived.
+"""
+
+from repro.engine.compiler import (
+    CompiledKernel, compile_design, compile_kernel,
+)
+from repro.engine.openloop import (
+    ArrivalSpec, OpenLoopReport, run_open_loop,
+)
+from repro.engine.sched import Delay, Process, Queue, Scheduler
+from repro.engine.verify import (
+    EngineReport, assert_engine_equivalent, engine_differential_check,
+)
+
+__all__ = [
+    "ArrivalSpec", "CompiledKernel", "Delay", "EngineReport",
+    "OpenLoopReport", "Process", "Queue", "Scheduler",
+    "assert_engine_equivalent", "compile_design", "compile_kernel",
+    "engine_differential_check", "run_open_loop",
+]

@@ -1,0 +1,390 @@
+"""The compiled execution spine: FSM → exec-generated Python closures.
+
+The netlist :class:`~repro.rtl.simulator.Simulator` is the semantic
+reference — two-phase, cycle-accurate, and slow: every cycle it
+re-walks each register's full chained-mux next-value network.  This
+module compiles a :class:`~repro.kiwi.compiler.CompiledDesign` *once*
+into straight-line Python:
+
+* one step closure per FSM state (``_s<index>``), its expression DAGs
+  flattened to local-variable assignments (shared sub-DAGs become one
+  temp, so the code is linear in the DAG, not the tree);
+* registers carried as positional locals through the state closures —
+  every right-hand side is evaluated into a temp before any commit, so
+  the two-phase clock-edge semantics survive exactly;
+* memories as preallocated Python lists shared by all closures
+  (out-of-range reads return 0, out-of-range writes are dropped, like
+  the simulator);
+* a driver loop that dispatches through a state table until the machine
+  returns to idle, counting one latency cycle per edge — the same
+  number ``CompiledDesign.run_on`` reports.
+
+Equivalence with the interpreter is not assumed: it is proven per
+kernel by :mod:`repro.engine.verify` (results, final memories, *and*
+cycle counts on random inputs), and the differential suite gates CI.
+
+``opt_level`` threads through naturally: the engine compiles whatever
+FSM the Kiwi middle-end emitted, so ``compile_kernel(fn, opt_level=2)``
+executes the optimized machine and the differential suite can assert
+engine(-O2) == interpreter(-O0).
+"""
+
+import itertools
+
+from repro.errors import EngineError
+from repro.kiwi.builder import MemReadRef, VarRef
+from repro.kiwi.fsm import Branch, Goto
+from repro.rtl.expr import BinOp, Concat, Const, Mux, Slice, UnOp
+
+
+def _mask(width):
+    return (1 << width) - 1
+
+
+class _Emitter:
+    """Flattens one state's expression DAGs into straight-line code.
+
+    ``emit`` returns a Python expression string for a node: constants
+    and variable reads stay inline, every other node is bound to a
+    fresh ``_t<n>`` local, memoised by node identity so shared sub-DAGs
+    are computed once (the same property the simulator gets from its
+    per-settle memo, here paid once at compile time).
+    """
+
+    def __init__(self, lines, mem_depths):
+        self.lines = lines
+        self.mem_depths = mem_depths
+        self.memo = {}
+        self.counter = itertools.count()
+
+    def temp(self, text):
+        name = "_t%d" % next(self.counter)
+        self.lines.append("%s = %s" % (name, text))
+        return name
+
+    def bind(self, text):
+        """Force *text* into a temp unless it is already one (or a
+        literal) — used for values read after register commit."""
+        if text.lstrip("(").startswith("_t") or text.isdigit():
+            return text
+        return self.temp(text)
+
+    def emit(self, expr):
+        key = id(expr)
+        cached = self.memo.get(key)
+        if cached is not None:
+            return cached
+        text = self._compile(expr)
+        if not isinstance(expr, (Const, VarRef)):
+            text = self.temp(text)
+        self.memo[key] = text
+        return text
+
+    def _compile(self, expr):
+        # Operator semantics mirror repro.rtl.expr.eval_binop/eval_unop
+        # clause for clause; the differential suite holds them together.
+        if isinstance(expr, Const):
+            return repr(expr.value)
+        if isinstance(expr, VarRef):
+            return "v_" + expr.name
+        if isinstance(expr, MemReadRef):
+            return self._compile_memread(expr)
+        if isinstance(expr, BinOp):
+            return self._compile_binop(expr)
+        if isinstance(expr, UnOp):
+            return self._compile_unop(expr)
+        if isinstance(expr, Mux):
+            sel = self.emit(expr.sel)
+            if_true = self.emit(expr.if_true)
+            if_false = self.emit(expr.if_false)
+            return "(%s if %s else %s)" % (if_true, sel, if_false)
+        if isinstance(expr, Slice):
+            operand = self.emit(expr.operand)
+            if expr.lsb == 0:
+                return "%s & %d" % (operand, _mask(expr.width))
+            return "(%s >> %d) & %d" % (operand, expr.lsb,
+                                        _mask(expr.width))
+        if isinstance(expr, Concat):
+            text = self.emit(expr.parts[0])
+            for part in expr.parts[1:]:
+                text = self.temp("(%s << %d) | %s"
+                                 % (text, part.width, self.emit(part)))
+            return text
+        raise EngineError("cannot compile expression %r" % (expr,))
+
+    def _compile_memread(self, expr):
+        depth = self.mem_depths.get(expr.mem_name)
+        if depth is None:
+            raise EngineError("read of unknown memory %r" % expr.mem_name)
+        addr = self.emit(expr.addr)
+        if (1 << expr.addr.width) <= depth:
+            # The address register cannot express an out-of-range
+            # index; skip the guard.
+            return "m_%s[%s]" % (expr.mem_name, addr)
+        addr = self.bind(addr)
+        return ("(m_%s[%s] if %s < %d else 0)"
+                % (expr.mem_name, addr, addr, depth))
+
+    def _compile_binop(self, expr):
+        lhs = self.emit(expr.lhs)
+        rhs = self.emit(expr.rhs)
+        op = expr.op
+        mask = _mask(expr.width)
+        if op in ("+", "-", "*", "<<"):
+            return "(%s %s %s) & %d" % (lhs, op, rhs, mask)
+        if op in ("&", "|", "^"):
+            return "%s %s %s" % (lhs, op, rhs)
+        if op == ">>":
+            return "%s >> %s" % (lhs, rhs)
+        if op == "/":
+            rhs = self.bind(rhs)
+            return ("(((%s // %s) & %d) if %s else 0)"
+                    % (lhs, rhs, mask, rhs))
+        if op == "%":
+            rhs = self.bind(rhs)
+            return ("(((%s %% %s) & %d) if %s else 0)"
+                    % (lhs, rhs, mask, rhs))
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            return "(1 if %s %s %s else 0)" % (lhs, op, rhs)
+        raise EngineError("cannot compile operator %r" % op)
+
+    def _compile_unop(self, expr):
+        operand = self.emit(expr.operand)
+        op = expr.op
+        if op == "~":
+            return "(~%s) & %d" % (operand, _mask(expr.width))
+        if op == "|r":
+            return "(1 if %s != 0 else 0)" % operand
+        if op == "&r":
+            return ("(1 if %s == %d else 0)"
+                    % (operand, _mask(expr.operand.width)))
+        if op == "^r":
+            return "bin(%s).count('1') & 1" % operand
+        if op == "!":
+            return "(1 if %s == 0 else 0)" % operand
+        raise EngineError("cannot compile unary %r" % op)
+
+
+def _generate_source(design, reg_names, mem_names):
+    """The Python module implementing *design*'s FSM."""
+    fsm = design.fsm
+    reg_set = set(reg_names)
+    mem_depths = {name: mem.depth
+                  for name, mem in design.spec.memory_params}
+    reg_args = ", ".join("v_" + name for name in reg_names)
+    mem_args = "".join(", m_%s=m_%s" % (name, name) for name in mem_names)
+    out = []
+
+    for state in fsm.states:
+        if state is fsm.idle:
+            continue
+        body = []
+        emitter = _Emitter(body, mem_depths)
+        # Phase 1: every right-hand side into temps (pre-edge values).
+        commits = []
+        for name in sorted(state.updates):
+            if name not in reg_set:
+                raise EngineError(
+                    "state #%d updates unknown register %r"
+                    % (state.index, name))
+            commits.append(
+                (name, emitter.bind(emitter.emit(state.updates[name]))))
+        writes = []
+        for mem_name, addr, data, enable in state.writes:
+            if mem_name not in mem_depths:
+                raise EngineError(
+                    "state #%d writes unknown memory %r"
+                    % (state.index, mem_name))
+            writes.append((mem_name,
+                           emitter.bind(emitter.emit(addr)),
+                           emitter.bind(emitter.emit(data)),
+                           emitter.bind(emitter.emit(enable))))
+        transition = state.transition
+        if isinstance(transition, Goto):
+            next_text = str(transition.target.index)
+        elif isinstance(transition, Branch):
+            cond = emitter.bind(emitter.emit(transition.cond))
+            next_text = "(%d if %s else %d)" % (
+                transition.if_true.index, cond, transition.if_false.index)
+        else:
+            raise EngineError("state #%d has no transition" % state.index)
+        # Phase 2: commit registers, then memory writes (all operands
+        # were evaluated in phase 1 — the atomic clock edge).
+        for name, value in commits:
+            body.append("v_%s = %s" % (name, value))
+        for mem_name, addr, data, enable in writes:
+            body.append("if %s and %s < %d:" % (enable, addr,
+                                                mem_depths[mem_name]))
+            body.append("    m_%s[%s] = %s" % (mem_name, addr, data))
+        prefix = reg_args + ", " if reg_names else ""
+        out.append("def _s%d(%s%s):" % (state.index, reg_args,
+                                        mem_args))
+        for line in body:
+            out.append("    " + line)
+        out.append("    return %s%s" % (prefix, next_text))
+        out.append("")
+
+    table = ["None"] * len(fsm.states)
+    for state in fsm.states:
+        if state is not fsm.idle:
+            table[state.index] = "_s%d" % state.index
+    out.append("_STATES = (%s,)" % ", ".join(table))
+    out.append("")
+
+    entry = fsm.idle.transition.if_true.index
+    unpack = "(%s,)" % reg_args if reg_names else None
+    out.append("def _run(_regs, _max_cycles):")
+    if reg_names:
+        out.append("    %s = _regs" % unpack)
+    out.append("    _state = %d" % entry)
+    out.append("    _latency = 1")
+    out.append("    _table = _STATES")
+    out.append("    while _state:")
+    out.append("        if _latency >= _max_cycles:")
+    message = "design %r did not finish in %%d cycles" % design.name
+    out.append("            raise EngineError(%r %% _max_cycles)"
+               % message)
+    call_args = reg_args
+    if reg_names:
+        out.append("        %s, _state = _table[_state](%s)"
+                   % (reg_args, call_args))
+    else:
+        out.append("        _state = _table[_state]()")
+    out.append("        _latency += 1")
+    if reg_names:
+        out.append("    return %s, _latency" % unpack)
+    else:
+        out.append("    return (), _latency")
+    out.append("")
+    return "\n".join(out)
+
+
+class CompiledKernel:
+    """A design compiled to native-Python closures, with warm state.
+
+    Mirrors the warm-simulator calling convention
+    (:meth:`~repro.kiwi.compiler.CompiledDesign.run_on`): registers and
+    memories persist across :meth:`run` calls, ``run`` latches the
+    given scalars, loads the given memory images (prefix-overwrite,
+    exactly like the simulator backdoor), executes until the machine
+    idles, and returns ``(results, latency_cycles, self)``.
+    """
+
+    def __init__(self, design):
+        self.design = design
+        self.spec = design.spec
+        self.opt_level = design.opt_level
+        module = design.module
+        self._reg_names = [sig.name[2:] for sig in module.signals.values()
+                           if sig.kind == "reg" and
+                           sig.name.startswith("v_")]
+        self._reg_inits = tuple(
+            module.signals["v_" + name].init for name in self._reg_names)
+        self._mem_names = list(module.memories)
+        self._scalar_widths = dict(
+            (name, param.width) for name, param in design.spec.scalar_params)
+        self._mem_widths = {name: mem.width
+                            for name, mem in design.spec.memory_params}
+        self._mem_depths = {name: mem.depth
+                            for name, mem in design.spec.memory_params}
+        reg_set = set(self._reg_names)
+        self._latch_names = [name for name, _ in design.spec.scalar_params
+                             if name in reg_set]
+        self._latch_slots = [self._reg_names.index(name)
+                             for name in self._latch_names]
+        self._result_slots = [self._reg_names.index("__result%d" % index)
+                              for index in range(len(design.spec.results))]
+        self.source = _generate_source(design, self._reg_names,
+                                       self._mem_names)
+        namespace = {"EngineError": EngineError}
+        for name, mem in module.memories.items():
+            namespace["m_" + name] = list(mem.init)
+        exec(compile(self.source, "<engine:%s>" % design.name, "exec"),
+             namespace)
+        self._namespace = namespace
+        self._run_fn = namespace["_run"]
+        self._mems = {name: namespace["m_" + name]
+                      for name in module.memories}
+        self._inputs = {name: 0 for name, _ in design.spec.scalar_params}
+        self._regs = self._reg_inits
+        self.invocations = 0
+
+    @property
+    def name(self):
+        return self.design.name
+
+    # -- state access -------------------------------------------------------
+
+    def load_memory(self, name, contents):
+        """Overwrite the first ``len(contents)`` words (backdoor load)."""
+        mem = self._mems.get(name)
+        if mem is None:
+            raise EngineError("kernel %r has no memory %r"
+                              % (self.name, name))
+        if len(contents) > len(mem):
+            raise EngineError("image longer than memory %r" % name)
+        width_mask = _mask(self._mem_widths[name])
+        for addr, value in enumerate(contents):
+            mem[addr] = value & width_mask
+
+    def peek_memory(self, name, addr):
+        return self._mems[name][addr]
+
+    def poke_memory(self, name, addr, value):
+        self._mems[name][addr] = value & _mask(self._mem_widths[name])
+
+    def memory_image(self, name):
+        """A copy of one memory's full contents."""
+        return list(self._mems[name])
+
+    def reset(self):
+        """Back to power-on: registers, latched inputs, memory init."""
+        self._regs = self._reg_inits
+        for name in self._inputs:
+            self._inputs[name] = 0
+        for name, mem in self.design.module.memories.items():
+            self._mems[name][:] = mem.init
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, max_cycles=100000, memories=None, **scalars):
+        """One invocation on the warm kernel.
+
+        Returns ``(results, latency_cycles, self)`` — the same triple
+        shape as ``CompiledDesign.run_on`` so call sites can switch
+        between the interpreter and the engine with a flag.
+        """
+        if memories:
+            for name, contents in memories.items():
+                self.load_memory(name, contents)
+        for name, value in scalars.items():
+            width = self._scalar_widths.get(name)
+            if width is None:
+                raise EngineError("kernel %r has no scalar %r"
+                                  % (self.name, name))
+            self._inputs[name] = value & _mask(width)
+        # The idle cycle: latch parameters into their registers.
+        regs = list(self._regs)
+        for name, slot in zip(self._latch_names, self._latch_slots):
+            regs[slot] = self._inputs[name]
+        regs, latency = self._run_fn(tuple(regs), max_cycles)
+        self._regs = regs
+        self.invocations += 1
+        results = tuple(regs[slot] for slot in self._result_slots)
+        return results, latency, self
+
+
+def compile_design(design):
+    """Compile a :class:`CompiledDesign` into a :class:`CompiledKernel`."""
+    return CompiledKernel(design)
+
+
+def compile_kernel(fn, opt_level=0, name=None, level_budget=None):
+    """Front-to-back: Kiwi-compile *fn* at *opt_level*, then compile the
+    resulting (possibly optimized) FSM for the engine."""
+    from repro.kiwi.compiler import DEFAULT_LEVEL_BUDGET, compile_function
+    design = compile_function(
+        fn, name=name, opt_level=opt_level,
+        level_budget=DEFAULT_LEVEL_BUDGET if level_budget is None
+        else level_budget)
+    return CompiledKernel(design)

@@ -1,0 +1,275 @@
+"""Open-loop load generation on the unified scheduler.
+
+The closed-loop harnesses replay one request at a time, so latency is
+the closed-form per-request model and queues never form.  This module
+drives a deployment *open loop*: arrivals come from a seeded stochastic
+process (Poisson by default) regardless of completions, requests wait
+in bounded ingest queues in front of the device model's servers, and
+the latency distribution is therefore *queueing-derived* — p99 grows
+with load, queues fill, and overload produces tail-drops, exactly the
+behaviour the closed-loop replay cannot express.
+
+The backend contract (see :class:`repro.deploy.backends.Backend`):
+
+* ``open_loop_servers()`` → ``(count, route)`` — how many parallel
+  service engines the backend has (cores, shards) and which one a
+  frame occupies;
+* ``open_loop_profile(frame)`` → ``(emitted, service_ns,
+  overhead_ns)`` — the functional outcome plus the split of the
+  closed-form latency into *occupancy* (serialises on the server) and
+  *constant overhead* (wire/PHY time that pipelines perfectly).
+
+Determinism: one seeded ``random.Random`` drives the arrival process,
+and the scheduler breaks timestamp ties by insertion order, so a run
+is a pure function of (deployment seed, arrival spec, workload).
+"""
+
+import random
+
+from repro.errors import EngineError
+from repro.engine.sched import Delay, Queue, Scheduler
+
+ARRIVAL_PROCESSES = ("poisson", "uniform")
+#: Fallback ingest depth for direct engine users.  The deploy layer
+#: overrides it with the live NetFPGA ingress FIFO depth
+#: (``repro.targets.pipeline.INPUT_QUEUE_DEPTH`` — the engine cannot
+#: import the target layer, which sits above it).
+DEFAULT_QUEUE_CAPACITY = 64
+
+
+class ArrivalSpec:
+    """An open-loop arrival process: shape, rate, and ingest capacity."""
+
+    def __init__(self, process="poisson", qps=1_000_000.0,
+                 capacity=DEFAULT_QUEUE_CAPACITY):
+        if process not in ARRIVAL_PROCESSES:
+            raise EngineError("unknown arrival process %r (have: %s)"
+                              % (process, ", ".join(ARRIVAL_PROCESSES)))
+        if qps <= 0:
+            raise EngineError("arrival rate must be positive")
+        self.process = process
+        self.qps = float(qps)
+        self.capacity = capacity
+
+    def times(self, duration_ns, rng):
+        """Arrival timestamps (ns) within ``[0, duration_ns)``."""
+        gap_ns = 1e9 / self.qps
+        times = []
+        now = 0.0
+        while True:
+            if self.process == "poisson":
+                now += rng.expovariate(1.0) * gap_ns
+            else:
+                now += gap_ns
+            if now >= duration_ns:
+                return times
+            times.append(int(now))
+
+    def __repr__(self):
+        return "ArrivalSpec(%s @ %.0f qps, capacity=%r)" % (
+            self.process, self.qps, self.capacity)
+
+
+class ServerStats:
+    """Per-server queue observations, sampled at each arrival."""
+
+    def __init__(self, index):
+        self.index = index
+        self.arrivals = 0
+        self.depth_samples = 0
+        self.max_depth = 0
+        self.busy_ns = 0.0
+
+    def sample(self, depth):
+        self.arrivals += 1
+        self.depth_samples += depth
+        if depth > self.max_depth:
+            self.max_depth = depth
+
+    @property
+    def mean_depth(self):
+        if not self.arrivals:
+            return 0.0
+        return self.depth_samples / self.arrivals
+
+
+class OpenLoopReport:
+    """What an open-loop run observed."""
+
+    def __init__(self, spec, duration_ns, num_servers):
+        self.spec = spec
+        self.duration_ns = duration_ns
+        self.offered = 0
+        self.admitted = 0
+        self.completed = 0
+        self.replies = 0
+        self.queue_drops = 0         # ingest queue full on arrival
+        self.service_drops = 0       # processed but produced no reply
+        self.latencies_ns = []
+        self.servers = [ServerStats(index) for index in range(num_servers)]
+        self.finished_ns = 0
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def drops(self):
+        return self.queue_drops + self.service_drops
+
+    @property
+    def offered_qps(self):
+        if not self.duration_ns:
+            return 0.0
+        return self.offered * 1e9 / self.duration_ns
+
+    @property
+    def achieved_qps(self):
+        """Completions over the span they actually took."""
+        span = max(self.duration_ns, self.finished_ns)
+        if not span:
+            return 0.0
+        return self.completed * 1e9 / span
+
+    @property
+    def drop_rate(self):
+        if not self.offered:
+            return 0.0
+        return self.queue_drops / self.offered
+
+    def _percentile_ns(self, fraction):
+        if not self.latencies_ns:
+            return None
+        ordered = sorted(self.latencies_ns)
+        index = min(len(ordered) - 1,
+                    int(round(fraction * (len(ordered) - 1))))
+        return ordered[index]
+
+    def p50_latency_us(self):
+        value = self._percentile_ns(0.50)
+        return None if value is None else value / 1000.0
+
+    def p99_latency_us(self):
+        value = self._percentile_ns(0.99)
+        return None if value is None else value / 1000.0
+
+    def average_latency_us(self):
+        if not self.latencies_ns:
+            return None
+        return sum(self.latencies_ns) / len(self.latencies_ns) / 1000.0
+
+    def max_queue_depth(self):
+        return max((server.max_depth for server in self.servers),
+                   default=0)
+
+    def snapshot(self):
+        """A dict with a consistent shape on every backend."""
+        return {
+            "process": self.spec.process,
+            "offered_qps": self.offered_qps,
+            "achieved_qps": self.achieved_qps,
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "replies": self.replies,
+            "queue_drops": self.queue_drops,
+            "service_drops": self.service_drops,
+            "drop_rate": self.drop_rate,
+            "p50_latency_us": self.p50_latency_us(),
+            "p99_latency_us": self.p99_latency_us(),
+            "avg_latency_us": self.average_latency_us(),
+            "max_queue_depth": self.max_queue_depth(),
+            "servers": len(self.servers),
+        }
+
+    def text(self):
+        """An aligned table of the run (harness/CLI output)."""
+        from repro.harness.report import render_table
+        snapshot = self.snapshot()
+        rows = []
+        for key in ("process", "offered_qps", "achieved_qps", "offered",
+                    "admitted", "completed", "replies", "queue_drops",
+                    "service_drops", "drop_rate", "p50_latency_us",
+                    "p99_latency_us", "avg_latency_us",
+                    "max_queue_depth", "servers"):
+            value = snapshot[key]
+            if isinstance(value, float):
+                value = "%.3f" % value
+            rows.append([key, "n/a" if value is None else str(value)])
+        return render_table(
+            ["Metric", "Value"], rows,
+            title="Open loop: %s arrivals at %.0f qps for %.3f ms"
+                  % (self.spec.process, self.spec.qps,
+                     self.duration_ns / 1e6))
+
+    def __repr__(self):
+        return ("OpenLoopReport(offered=%d, completed=%d, drops=%d, "
+                "p99=%s us)" % (self.offered, self.completed, self.drops,
+                                ("%.3f" % self.p99_latency_us())
+                                if self.latencies_ns else "n/a"))
+
+
+def run_open_loop(backend, spec, frames, duration_ns, seed=1):
+    """Drive *frames* at *spec*'s arrival process through *backend*.
+
+    *frames* is a frame list or a factory ``count -> frames`` (the
+    deployment passes its workload generator, so exactly one frame
+    exists per drawn arrival).  Each arrival routes to its server's
+    bounded ingest queue (tail-drop when full — a dropped request is
+    never processed, like a frame the ingress FIFO rejected); each
+    server drains its queue one request at a time, occupying itself
+    for the request's ``service_ns``; the recorded latency is waiting
+    time + service time + the backend's constant overhead.  Returns an
+    :class:`OpenLoopReport`.
+    """
+    scheduler = Scheduler()
+    num_servers, route = backend.open_loop_servers()
+    report = OpenLoopReport(spec, duration_ns, num_servers)
+    queues = [Queue(capacity=spec.capacity, scheduler=scheduler)
+              for _ in range(num_servers)]
+
+    def server(queue, stats):
+        while True:
+            arrival_ns, service_ns, overhead_ns, emitted = \
+                yield queue.get()
+            if service_ns > 0:
+                yield Delay(service_ns)
+            stats.busy_ns += service_ns
+            now = scheduler.now_ns
+            report.completed += 1
+            if now > report.finished_ns:
+                report.finished_ns = now
+            if emitted:
+                report.replies += len(emitted)
+                report.latencies_ns.append(
+                    now - arrival_ns + overhead_ns)
+            else:
+                report.service_drops += 1
+
+    for queue, stats in zip(queues, report.servers):
+        scheduler.spawn(server(queue, stats))
+
+    def arrive(frame):
+        report.offered += 1
+        index = route(frame)
+        queue = queues[index]
+        report.servers[index].sample(queue.depth)
+        if queue.full:
+            queue.drops += 1
+            report.queue_drops += 1
+            return
+        emitted, service_ns, overhead_ns = \
+            backend.open_loop_profile(frame)
+        report.admitted += 1
+        queue.try_put((scheduler.now_ns, service_ns, overhead_ns,
+                       emitted))
+
+    rng = random.Random("%s/openloop/%s/%s" % (seed, spec.process,
+                                               spec.qps))
+    times = spec.times(duration_ns, rng)
+    frames = list(frames(len(times))) if callable(frames) \
+        else list(frames)
+    if len(frames) < len(times):
+        times = times[:len(frames)]
+    for when, frame in zip(times, frames):
+        scheduler.schedule(when, lambda f=frame: arrive(f.copy()))
+    scheduler.run(max_events=max(1_000_000, 32 * len(times)))
+    return report

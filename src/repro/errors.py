@@ -39,6 +39,28 @@ class SimulationError(ReproError):
     """The RTL simulator hit an inconsistent state (e.g. comb. loop)."""
 
 
+class SimulationTimeout(SimulationError):
+    """``run_until`` exhausted its cycle budget waiting on a signal.
+
+    Carries the signal name, the value waited for, and the number of
+    cycles actually spent, so harness failures name the stuck wire
+    instead of a bare cycle count.
+    """
+
+    def __init__(self, signal_name, value, cycles, last_value):
+        self.signal_name = signal_name
+        self.value = value
+        self.cycles = cycles
+        self.last_value = last_value
+        super().__init__(
+            "signal %r never reached %d within %d cycles "
+            "(still %d)" % (signal_name, value, cycles, last_value))
+
+
+class EngineError(ReproError):
+    """The compiled execution engine rejected or timed out a design."""
+
+
 class ProtocolError(ReproError):
     """An IP-block handshake or wire protocol was violated."""
 

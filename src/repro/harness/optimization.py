@@ -143,17 +143,35 @@ SERVICE_KERNELS = [
 ]
 
 
-def measure_kernel(case, opt_level):
-    """(design, results, cycles) for one case at one level."""
+def measure_kernel(case, opt_level, use_engine=True):
+    """(design, results, cycles) for one case at one level.
+
+    Measured on the compiled execution engine by default
+    (cycle-identical to the interpreted simulator by the engine's
+    differential proof); ``use_engine=False`` falls back to the
+    deprecated warm-:class:`Simulator` stepping for cross-checks.
+    """
     design = compile_function(case.kernel, opt_level=opt_level)
-    sim = design.simulator()
+    if use_engine:
+        from repro.engine import compile_design
+        runner = compile_design(design)
+
+        def one(memories, scalars):
+            return runner.run(
+                memories={k: list(v) for k, v in memories.items()},
+                **scalars)
+    else:
+        sim = design.simulator()
+
+        def one(memories, scalars):
+            return design.run_on(
+                sim,
+                memories={k: list(v) for k, v in memories.items()},
+                **scalars)
+
     for memories, scalars in case.warmups:
-        design.run_on(sim,
-                      memories={k: list(v) for k, v in memories.items()},
-                      **scalars)
-    results, cycles, _ = design.run_on(
-        sim, memories={k: list(v) for k, v in case.memories.items()},
-        **case.scalars)
+        one(memories, scalars)
+    results, cycles, _ = one(case.memories, case.scalars)
     return design, results, cycles
 
 

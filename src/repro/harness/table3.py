@@ -47,31 +47,40 @@ def _streaming_throughput_mpps(ii_cycles):
     return NUM_PORTS * per_port / 1e6
 
 
-def measure_emu_switch(opt_level=None):
+def measure_emu_switch(opt_level=None, use_engine=True):
     """Compile + simulate the Emu switch core; returns a row.
 
     The default (``None``) pins ``-O0`` so the baseline row keeps
     reproducing the seed compiler's Table 3 figures; pass an explicit
     level for an optimized row (latency is measured on whatever machine
     that level emits, so the rows are comparable).
+
+    Module latency is measured on the compiled execution engine by
+    default (cycle-identical to the netlist simulator by the engine's
+    differential proof); ``use_engine=False`` falls back to stepping
+    the interpreted :class:`Simulator` — the deprecated path, kept so
+    the two measurements can always be cross-checked.
     """
     design, top = build_emu_switch_core(
         opt_level=0 if opt_level is None else opt_level)
     report = estimate_resources(top)
-    # Measured module latency: simulate the kernel FSM on one packet and
+    # Measured module latency: run the kernel FSM on one packet and
     # add the CAM interface cycles plus the output registration cycle.
-    sim = Simulator(design.module)
-    sim.poke("start", 1)
-    sim.poke("src_port", 2)
-    sim.poke("dst_hit", 0)
-    sim.poke("dst_port", 0)
-    sim.poke("src_hit", 0)
-    sim.step()
-    sim.poke("start", 0)
-    cycles = 1
-    while sim.peek("busy"):
+    probe = {"src_port": 2, "dst_hit": 0, "dst_port": 0, "src_hit": 0}
+    if use_engine:
+        from repro.engine import compile_design
+        _, cycles, _ = compile_design(design).run(**probe)
+    else:
+        sim = Simulator(design.module)
+        sim.poke("start", 1)
+        for name, value in probe.items():
+            sim.poke(name, value)
         sim.step()
-        cycles += 1
+        sim.poke("start", 0)
+        cycles = 1
+        while sim.peek("busy"):
+            sim.step()
+            cycles += 1
     latency = cycles + EMU_CAM_INTERFACE_CYCLES + 1
     name = "Emu (C#)" if opt_level is None else "Emu (C#) -O%d" % opt_level
     return SwitchComparison(

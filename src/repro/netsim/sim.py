@@ -1,50 +1,18 @@
-"""The discrete-event core: a time-ordered event queue."""
+"""The discrete-event core: a time-ordered event queue.
 
-import heapq
-import itertools
+Since the engine refactor this is a veneer over the *unified* runtime
+(:class:`repro.engine.sched.Scheduler`) — the network simulator no
+longer keeps its own bespoke loop.  The subclass exists to keep the
+historical surface: the same class name, and :class:`NetSimError` for
+scheduling mistakes and livelocks.
+"""
 
+from repro.engine.sched import Scheduler
 from repro.errors import NetSimError
 
 
-class EventLoop:
-    """Nanosecond-resolution event loop."""
+class EventLoop(Scheduler):
+    """Nanosecond-resolution event loop (the netsim face of the
+    engine scheduler; it also inherits ``spawn`` for processes)."""
 
-    def __init__(self):
-        self._queue = []
-        self._ids = itertools.count()
-        self.now_ns = 0
-        self.events_run = 0
-
-    def schedule(self, delay_ns, action):
-        """Run *action()* after *delay_ns* nanoseconds."""
-        if delay_ns < 0:
-            raise NetSimError("cannot schedule into the past")
-        heapq.heappush(self._queue,
-                       (self.now_ns + int(delay_ns), next(self._ids),
-                        action))
-
-    def run(self, until_ns=None, max_events=1_000_000):
-        """Process events until the queue drains (or a time/count cap).
-
-        *max_events* caps this call alone; ``events_run`` keeps the
-        lifetime total, so repeated ``run()`` calls on one loop never
-        trip the cap on old events.
-        """
-        events_this_call = 0
-        while self._queue:
-            when, _, action = self._queue[0]
-            if until_ns is not None and when > until_ns:
-                break
-            heapq.heappop(self._queue)
-            self.now_ns = when
-            action()
-            self.events_run += 1
-            events_this_call += 1
-            if events_this_call > max_events:
-                raise NetSimError("event cap exceeded (livelock?)")
-        if until_ns is not None:
-            self.now_ns = max(self.now_ns, until_ns)
-
-    @property
-    def pending(self):
-        return len(self._queue)
+    error = NetSimError

@@ -12,7 +12,7 @@ Inputs are poked between cycles with :meth:`Simulator.poke`; outputs and
 internal nets are read with :meth:`Simulator.peek`.
 """
 
-from repro.errors import SimulationError, WidthError
+from repro.errors import SimulationError, SimulationTimeout, WidthError
 from repro.rtl.expr import (
     BinOp, Concat, Const, MemRead, Mux, Slice, UnOp, eval_binop,
     eval_unop,
@@ -193,12 +193,24 @@ class Simulator:
         self.settle()
 
     def run_until(self, signal, value=1, max_cycles=10000):
-        """Step until *signal* equals *value*; return cycles taken."""
+        """Step until *signal* equals *value*; return cycles taken.
+
+        Raises :class:`~repro.errors.SimulationTimeout` — naming the
+        signal, the cycles spent, and the value it was stuck at — if
+        *max_cycles* clock edges pass without a match.
+        """
+        if isinstance(signal, str):
+            try:
+                signal = self.module.signals[signal]
+            except KeyError:
+                raise SimulationError(
+                    "module %s has no signal %r"
+                    % (self.module.name, signal))
         start = self.cycle
         while self.peek(signal) != value:
             if self.cycle - start >= max_cycles:
-                raise SimulationError(
-                    "signal %r never reached %d within %d cycles"
-                    % (signal, value, max_cycles))
+                raise SimulationTimeout(
+                    signal.name, value, self.cycle - start,
+                    self.peek(signal))
             self.step()
         return self.cycle - start

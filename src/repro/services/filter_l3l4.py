@@ -167,13 +167,13 @@ class FilteringSwitch(EmuService):
         from repro.targets.kernel_model import KernelCycleModel
         model = KernelCycleModel(filter_kernel, opt_level)
         for slot, rule in enumerate(self.filter.rules[:8]):
-            model.sim.poke_memory("rule_valid", slot, 1)
-            model.sim.poke_memory("rule_proto", slot, rule.protocol or 0)
-            model.sim.poke_memory("rule_src", slot, rule.src_ip)
-            model.sim.poke_memory("rule_smask", slot, rule.src_mask)
-            model.sim.poke_memory("rule_dlo", slot, rule.dport_lo)
-            model.sim.poke_memory("rule_dhi", slot, rule.dport_hi)
-            model.sim.poke_memory(
+            model.poke_memory("rule_valid", slot, 1)
+            model.poke_memory("rule_proto", slot, rule.protocol or 0)
+            model.poke_memory("rule_src", slot, rule.src_ip)
+            model.poke_memory("rule_smask", slot, rule.src_mask)
+            model.poke_memory("rule_dlo", slot, rule.dport_lo)
+            model.poke_memory("rule_dhi", slot, rule.dport_hi)
+            model.poke_memory(
                 "rule_accept", slot, 1 if rule.verdict == ACCEPT else 0)
         return model
 

@@ -106,6 +106,11 @@ class FpgaTarget:
         self.seed = seed
         self.latencies_ns = []
         self.core_cycle_counts = []
+        #: Per-request datapath occupancy (ns) — what the request
+        #: serialises on the core for, recorded for every frame
+        #: (including drops: a rejected frame still occupied the
+        #: core).  The open-loop load layer reads this.
+        self.service_times_ns = []
 
     def _extra_cycles(self, frame):
         """Byte-serial datapath work beyond the handler's own pauses.
@@ -124,14 +129,20 @@ class FpgaTarget:
         """One request through the DUT; returns (emitted, latency_ns)."""
         emitted, core_cycles = self.pipeline.process_frame(frame)
         self.core_cycle_counts.append(core_cycles)
+        extra_cycles = self._extra_cycles(frame)
         for port, _ in emitted:
             self.pipeline.drain_port(port)   # the wire pulls frames off
         if not emitted:
+            self.service_times_ns.append(self.timing.service_time_ns(
+                len(frame.data), core_cycles, extra_cycles=extra_cycles))
             return emitted, None      # dropped: nothing on the wire
         reply_bytes = len(emitted[0][1].data)
+        self.service_times_ns.append(self.timing.service_time_ns(
+            len(frame.data), core_cycles, extra_cycles=extra_cycles,
+            reply_bytes=reply_bytes))
         latency = self.timing.latency_ns(
             len(frame.data), core_cycles,
-            extra_cycles=self._extra_cycles(frame),
+            extra_cycles=extra_cycles,
             reply_bytes=reply_bytes)
         self.latencies_ns.append(latency)
         return emitted, latency

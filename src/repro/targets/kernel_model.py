@@ -5,13 +5,16 @@ faithful to the unoptimized schedule but blind to the optimizer.  When
 a target is given an explicit ``opt_level``, services that have a flat
 Emu-Python kernel swap in this model instead: the kernel is compiled at
 that level and every request's core-cycle count is *measured* by
-running the frame through the compiled netlist on a warm simulator (so
+running the frame through the compiled machine with warm state (so
 stateful kernels — e.g. Memcached's key-value memories — keep their
 state between requests, exactly like the hardware).
 
-This is how Table 3/4-style rows report optimized vs. unoptimized
-cycles per request: the number comes from the machine the middle-end
-actually emitted, not from an assumed schedule.
+Since the engine refactor the measurement runs on the compiled
+execution spine (:mod:`repro.engine.compiler`) by default — the cycle
+counts are identical by the engine's differential proof, the wall
+clock is not.  ``use_engine=False`` falls back to stepping the
+interpreted netlist :class:`~repro.rtl.simulator.Simulator` (the
+deprecated path, kept for cross-checking).
 """
 
 from repro.errors import TargetError
@@ -28,7 +31,7 @@ class KernelCycleModel:
     """
 
     def __init__(self, kernel, opt_level, scalars=None,
-                 frame_param="frame", max_cycles=100000):
+                 frame_param="frame", max_cycles=100000, use_engine=True):
         self.design = compile_function(kernel, opt_level=opt_level)
         memories = dict(self.design.spec.memory_params)
         if frame_param not in memories:
@@ -39,7 +42,14 @@ class KernelCycleModel:
         self.depth = memories[frame_param].depth
         self.scalars = dict(scalars or {})
         self.max_cycles = max_cycles
-        self.sim = self.design.simulator()
+        self.use_engine = use_engine
+        if use_engine:
+            from repro.engine.compiler import compile_design
+            self._runner = compile_design(self.design)
+            self.sim = None
+        else:
+            self.sim = self.design.simulator()
+            self._runner = None
         self.requests = 0
         self.total_cycles = 0
 
@@ -47,13 +57,26 @@ class KernelCycleModel:
     def opt_level(self):
         return self.design.opt_level
 
+    def poke_memory(self, name, addr, value):
+        """Backdoor-program one warm memory word (services use this to
+        install rule tables etc.), whichever runner is active."""
+        if self._runner is not None:
+            self._runner.poke_memory(name, addr, value)
+        else:
+            self.sim.poke_memory(name, addr, value)
+
     def cycles(self, frame):
         """Measured latency (cycles) of one frame through the kernel."""
         image = list(frame.data)[:self.depth]
         image += [0] * (self.depth - len(image))
-        _, latency, _ = self.design.run_on(
-            self.sim, max_cycles=self.max_cycles,
-            memories={self.frame_param: image}, **self.scalars)
+        if self._runner is not None:
+            _, latency, _ = self._runner.run(
+                max_cycles=self.max_cycles,
+                memories={self.frame_param: image}, **self.scalars)
+        else:
+            _, latency, _ = self.design.run_on(
+                self.sim, max_cycles=self.max_cycles,
+                memories={self.frame_param: image}, **self.scalars)
         self.requests += 1
         self.total_cycles += latency
         return latency

@@ -32,10 +32,17 @@ class MultiCoreTarget:
         self.num_cores = num_cores
         self._is_write = is_write or (lambda frame: False)
 
+    def serving_core(self, frame, port=None):
+        """Which core a frame occupies (its arrival port's).  The
+        deploy backend and the open-loop load layer route with this,
+        so the wrapper's port→core mapping lives in exactly one
+        place."""
+        port = frame.src_port if port is None else port
+        return port % self.num_cores
+
     def send(self, frame, port=None):
         """Route one request; writes are replicated to every core."""
-        port = frame.src_port if port is None else port
-        core_index = port % self.num_cores
+        core_index = self.serving_core(frame, port)
         if self._is_write(frame):
             results = []
             for core in self.cores:

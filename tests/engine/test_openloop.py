@@ -1,0 +1,145 @@
+"""Open-loop load layer: arrivals, queueing, drops, determinism.
+
+Seeded per tests/README: one module SEED, one stream per property.
+"""
+
+import random
+
+import pytest
+
+from repro.deploy import deploy
+from repro.engine.openloop import ArrivalSpec
+from repro.errors import EngineError, TargetError
+
+SEED = "engine-openloop"
+
+
+class TestArrivalSpec:
+    def test_rejects_unknown_process(self):
+        with pytest.raises(EngineError):
+            ArrivalSpec("burst")
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(EngineError):
+            ArrivalSpec("poisson", qps=0)
+
+    def test_uniform_gaps_are_exact(self):
+        spec = ArrivalSpec("uniform", qps=1e6)   # 1000 ns gaps
+        rng = random.Random("%s/uniform" % SEED)
+        times = spec.times(10_000, rng)
+        assert times == [1000 * k for k in range(1, 10)]
+
+    def test_poisson_is_seeded(self):
+        spec = ArrivalSpec("poisson", qps=1e6)
+        first = spec.times(50_000, random.Random("%s/p" % SEED))
+        second = spec.times(50_000, random.Random("%s/p" % SEED))
+        other = spec.times(50_000, random.Random("%s/q" % SEED))
+        assert first == second
+        assert first != other
+        assert all(t < 50_000 for t in first)
+
+
+def _fpga_deployment(qps, capacity=None, seed=11):
+    return (deploy("memcached").on("fpga").with_seed(seed)
+            .with_arrivals("poisson", qps=qps, capacity=capacity)
+            .start())
+
+
+class TestOpenLoopRuns:
+    def test_light_load_no_queueing_no_drops(self):
+        dep = _fpga_deployment(qps=200_000.0)
+        report = dep.run_open_loop(duration_ms=0.5)
+        assert report.offered > 0
+        assert report.completed == report.admitted == report.offered
+        assert report.queue_drops == 0
+        assert report.replies == report.completed
+        assert report.p99_latency_us() >= report.p50_latency_us()
+
+    def test_overload_fills_queues_and_drops(self):
+        """Offered load far above the service rate: the ingest queue
+        pegs at capacity, tail-drops appear, and waiting dominates the
+        latency distribution (p50 ~ full-queue wait >> unloaded)."""
+        dep = _fpga_deployment(qps=8_000_000.0, capacity=16)
+        report = dep.run_open_loop(duration_ms=0.5)
+        assert report.queue_drops > 0
+        assert report.max_queue_depth() == 16
+        assert report.drop_rate > 0.2
+        unloaded = _fpga_deployment(qps=100_000.0, seed=11)
+        baseline = unloaded.run_open_loop(duration_ms=0.5)
+        assert report.p50_latency_us() > 3 * baseline.p50_latency_us()
+        # A dropped request is never processed: the backend saw only
+        # the admitted ones.
+        assert dep.backend.stats()["frames_in"] == report.admitted
+
+    def test_deterministic_replay(self):
+        first = _fpga_deployment(qps=3_000_000.0).run_open_loop(
+            duration_ms=0.4)
+        second = _fpga_deployment(qps=3_000_000.0).run_open_loop(
+            duration_ms=0.4)
+        assert first.snapshot() == second.snapshot()
+        assert first.latencies_ns == second.latencies_ns
+
+    def test_seed_changes_the_run(self):
+        first = _fpga_deployment(qps=3_000_000.0, seed=11)
+        second = _fpga_deployment(qps=3_000_000.0, seed=12)
+        assert first.run_open_loop(duration_ms=0.4).latencies_ns != \
+            second.run_open_loop(duration_ms=0.4).latencies_ns
+
+    def test_requires_with_arrivals(self):
+        dep = deploy("memcached").on("fpga").start()
+        with pytest.raises(TargetError):
+            dep.run_open_loop(duration_ms=0.1)
+
+    def test_multicore_routes_by_port(self):
+        dep = (deploy("memcached").on("multicore", cores=4)
+               .with_seed(11).with_arrivals("uniform", qps=1_000_000.0)
+               .start())
+        report = dep.run_open_loop(duration_ms=0.3)
+        assert len(report.servers) == 4
+        assert report.completed == report.admitted
+
+    def test_cluster_routes_by_key(self):
+        dep = (deploy("memcached").on("cluster", shards=4)
+               .with_seed(11).with_arrivals("poisson", qps=2_000_000.0)
+               .start())
+        report = dep.run_open_loop(duration_ms=0.3)
+        assert len(report.servers) == 4
+        # Consistent hashing spreads the keys over several shards.
+        assert sum(1 for s in report.servers if s.arrivals) >= 2
+
+    def test_snapshot_shape_uniform_across_backends(self):
+        shapes = []
+        for backend in ("cpu", "fpga", "netsim"):
+            dep = (deploy("memcached").on(backend).with_seed(11)
+                   .with_arrivals("poisson", qps=200_000.0).start())
+            snapshot = dep.run_open_loop(duration_ms=0.2).snapshot()
+            shapes.append(sorted(snapshot))
+        assert shapes[0] == shapes[1] == shapes[2]
+
+    def test_cpu_backend_has_no_timing_model(self):
+        dep = (deploy("memcached").on("cpu").with_seed(11)
+               .with_arrivals("poisson", qps=200_000.0).start())
+        report = dep.run_open_loop(duration_ms=0.2)
+        assert report.completed == report.offered
+        assert report.p99_latency_us() == 0.0
+
+    def test_cluster_unroutable_frame_is_dropped_not_fatal(self):
+        """Regression: a frame with no routable key must record a
+        service drop instead of aborting the run with ClusterError
+        (closed-loop send() raises; open loop moves on)."""
+        from repro.net.packet import Frame
+        dep = (deploy("memcached").on("cluster", shards=2)
+               .with_seed(11).with_arrivals("uniform", qps=1_000_000.0)
+               .start())
+        garbage = [Frame(bytes(40), src_port=0) for _ in range(5)]
+        report = dep.run_open_loop(duration_ms=0.01, frames=garbage)
+        assert report.completed == report.offered > 0
+        assert report.service_drops == report.completed
+        assert report.replies == 0
+
+    def test_report_text_renders(self):
+        report = _fpga_deployment(qps=500_000.0).run_open_loop(
+            duration_ms=0.2)
+        text = report.text()
+        assert "Open loop" in text
+        assert "p99_latency_us" in text

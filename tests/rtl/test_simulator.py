@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, SimulationTimeout
 from repro.rtl import Module, Simulator, cat, const, mux
 
 
@@ -190,3 +190,27 @@ class TestRunUntil:
         sim.poke("en", 0)
         with pytest.raises(SimulationError):
             sim.run_until(m.signals["out"], value=1, max_cycles=10)
+
+    def test_timeout_is_descriptive(self):
+        """Regression: the timeout must name the stuck signal and the
+        cycles spent, not just return silently at max_cycles."""
+        m = make_counter()
+        sim = Simulator(m)
+        sim.poke("en", 0)
+        with pytest.raises(SimulationTimeout) as excinfo:
+            sim.run_until("out", value=3, max_cycles=12)
+        error = excinfo.value
+        assert error.signal_name == "out"
+        assert error.value == 3
+        assert error.cycles == 12
+        assert error.last_value == 0
+        assert "'out'" in str(error)
+        assert "12 cycles" in str(error)
+        # The simulator really did step while waiting.
+        assert sim.cycle == 12
+
+    def test_timeout_accepts_string_signal_names(self):
+        m = make_counter()
+        sim = Simulator(m)
+        sim.poke("en", 1)
+        assert sim.run_until("out", value=4) == 4
