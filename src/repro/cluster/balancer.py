@@ -127,6 +127,11 @@ class ShardBalancerService(EmuService):
         self.clock = None
         self.evictions = 0
         self.restores = 0
+        #: Optional ``callable(label, args=None)`` — the observability
+        #: layer's instant-event hook (``TraceRecorder.hook()``);
+        #: detector state transitions emit through it so this module
+        #: never imports the tracing package.
+        self.event_hook = None
 
     def on_frame(self, dataplane):
         if dataplane.src_port != self.uplink_port:
@@ -184,6 +189,12 @@ class ShardBalancerService(EmuService):
             if shard in self.down or len(self.ring) <= 1:
                 continue
             if self.health[shard].is_suspect(reference):
+                if self.event_hook is not None:
+                    self.event_hook(
+                        "phi-suspect:%s" % shard,
+                        {"shard": shard,
+                         "phi": round(self.health[shard].phi(reference),
+                                      3)})
                 self.mark_down(shard)
                 evicted.append(shard)
         return evicted
@@ -199,6 +210,8 @@ class ShardBalancerService(EmuService):
         self.ring.remove_shard(shard)
         self.down.add(shard)
         self.evictions += 1
+        if self.event_hook is not None:
+            self.event_hook("mark-down:%s" % shard, {"shard": shard})
 
     def mark_up(self, shard):
         """Re-admit a recovered shard.  Its detector history is
@@ -214,6 +227,8 @@ class ShardBalancerService(EmuService):
         self.down.discard(shard)
         self.health[shard].reset()
         self.restores += 1
+        if self.event_hook is not None:
+            self.event_hook("mark-up:%s" % shard, {"shard": shard})
 
     # -- cycle model ---------------------------------------------------------
 

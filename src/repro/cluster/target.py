@@ -61,6 +61,10 @@ class ClusterTarget:
         self.rejoins = 0
         self.handoff_replays = 0       # queued writes promoted on evict
         self._pending = []             # queued async replica applies
+        #: Optional ``callable(label, args=None)`` — the observability
+        #: layer's instant-event hook (``TraceRecorder.hook()``); this
+        #: module stays ignorant of the tracing package.
+        self.event_hook = None
         for _ in range(num_shards):
             self.add_shard()
 
@@ -172,6 +176,9 @@ class ClusterTarget:
         if len(self.shards) - len(self._down) <= 1:
             raise ClusterError("cannot kill the last live shard")
         self._down.add(shard_id)
+        if self.event_hook is not None:
+            self.event_hook("kill:%s" % shard_id,
+                            {"shard": shard_id})
 
     def evict_shard(self, shard_id):
         """Fail a crashed shard out of the ring (failover).
@@ -222,6 +229,10 @@ class ClusterTarget:
             if store:
                 self._rehome_entries(store, before, shard_id)
         self.failovers += 1
+        if self.event_hook is not None:
+            self.event_hook("evict:%s" % shard_id,
+                            {"shard": shard_id,
+                             "replays": self.handoff_replays})
 
     def restore_shard(self, shard_id, sample_keys=None):
         """Rejoin a crashed shard after repair.
@@ -272,6 +283,9 @@ class ClusterTarget:
                         else (entry, 0)
                     service.store_set(key, value, flags)
         self.rejoins += 1
+        if self.event_hook is not None:
+            self.event_hook("rejoin:%s" % shard_id,
+                            {"shard": shard_id})
         return before.remap_stats(self.ring, sample_keys) \
             if sample_keys else None
 
@@ -315,6 +329,9 @@ class ClusterTarget:
         replica.src_port = 0
         self.shards[shard_id].service.process(replica)
         self.replica_applies += 1
+        if self.event_hook is not None:
+            self.event_hook("replica-apply:%s" % shard_id,
+                            {"shard": shard_id})
 
     def send(self, frame):
         """Route one request to its shard; returns (emitted, latency_ns).
@@ -344,6 +361,10 @@ class ClusterTarget:
         detector, and fail over once the miss streak trips it."""
         self.requests += 1
         self.failed_requests += 1
+        if self.event_hook is not None:
+            self.event_hook("timeout:%s" % owner,
+                            {"shard": owner,
+                             "misses": self.detectors[owner].misses + 1})
         if self.detectors[owner].record_miss():
             self.evict_shard(owner)
         return [], None

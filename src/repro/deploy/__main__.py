@@ -46,6 +46,21 @@ def _parser():
                         help="per-server ingest queue depth "
                              "(with --arrivals; default: the NetFPGA "
                              "ingress FIFO depth)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record a virtual-time trace and write "
+                             "Chrome trace JSON (Perfetto-loadable) "
+                             "to PATH; PATH.tsv gets the flat export")
+    parser.add_argument("--timeseries", metavar="PATH", default=None,
+                        help="sample an open-loop run into a windowed "
+                             "TSV time-series at PATH "
+                             "(with --arrivals)")
+    parser.add_argument("--window-us", type=float, default=100.0,
+                        help="time-series window length "
+                             "(with --timeseries)")
+    parser.add_argument("--profile", action="store_true",
+                        help="attribute kernel cycles per FSM state "
+                             "and print the hotspot table "
+                             "(needs --opt)")
     parser.add_argument("--shards", type=int, default=8,
                         help="cluster backend width")
     parser.add_argument("--cores", type=int, default=4,
@@ -97,6 +112,20 @@ def main(argv=None):
     if args.arrivals is not None:
         dep.with_arrivals(args.arrivals, qps=args.qps,
                           capacity=args.capacity)
+    if args.trace is not None:
+        dep.with_trace()
+    if args.timeseries is not None:
+        if args.arrivals is None:
+            print("--timeseries needs --arrivals (it samples the "
+                  "open-loop run)", file=sys.stderr)
+            return 2
+        dep.with_timeseries(window_us=args.window_us)
+    if args.profile:
+        if args.opt is None:
+            print("--profile needs --opt (per-state attribution runs "
+                  "on the compiled kernel)", file=sys.stderr)
+            return 2
+        dep.with_profile()
     dep.start()
     print(dep.describe())
     print()
@@ -104,6 +133,7 @@ def main(argv=None):
     if args.arrivals is not None:
         report = dep.run_open_loop(duration_ms=args.duration_ms)
         print(report.text())
+        _finish_obs(dep, args)
         dep.stop()
         return 0
 
@@ -126,8 +156,25 @@ def main(argv=None):
         print("\n" + line)
     else:
         print("\nprobe produced no reply (dropped)")
+    _finish_obs(dep, args)
     dep.stop()
     return 0
+
+
+def _finish_obs(dep, args):
+    """Export whatever observability the flags turned on."""
+    if args.trace is not None and dep.tracer is not None:
+        dep.tracer.write_json(args.trace)
+        dep.tracer.write_tsv(args.trace + ".tsv")
+        print("\ntrace: %d event(s) -> %s (+ .tsv)"
+              % (len(dep.tracer), args.trace))
+    if args.timeseries is not None and dep.timeseries is not None:
+        dep.timeseries.write_tsv(args.timeseries)
+        print("time-series: %d window(s) -> %s"
+              % (len(dep.timeseries), args.timeseries))
+    if args.profile:
+        print()
+        print(dep.kernel_profile().hotspot_table())
 
 
 if __name__ == "__main__":

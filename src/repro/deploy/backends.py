@@ -131,6 +131,59 @@ class Backend:
         """Short human string for the describe() table ("8 shards")."""
         return "1 device"
 
+    def cycle_models(self):
+        """The compiled-kernel cycle models this backend runs (empty on
+        behavioural / no-timing backends) — the per-FSM-state profiling
+        surface."""
+        return [target.cycle_model for target in self._fpga_targets()
+                if target.cycle_model is not None]
+
+    def enable_profiling(self):
+        """Turn on per-FSM-state cycle counting on every compiled
+        kernel this backend runs; returns how many kernels are
+        profiling (raises when there are none — behavioural counting
+        has no states to attribute)."""
+        models = self.cycle_models()
+        if not models:
+            raise TargetError(
+                "backend %r has no compiled kernels to profile "
+                "(needs with_opt(level) and a service with a flat "
+                "kernel)" % (self.name,))
+        for model in models:
+            model.enable_profiling()
+        return len(models)
+
+    def kernel_profile(self):
+        """The merged :class:`~repro.obs.profiler.KernelProfile`
+        across this backend's kernels (cores / shards run identical
+        compiled shapes, so their counts fold)."""
+        from repro.obs.profiler import merge_profiles
+        models = self.cycle_models()
+        if not models:
+            raise TargetError(
+                "backend %r has no compiled kernels to profile"
+                % (self.name,))
+        return merge_profiles([model.profile() for model in models])
+
+    def attach_tracer(self, tracer):
+        """Hand *tracer*'s instant-event hooks to whatever fault /
+        health surfaces this backend has (default: nothing to hook);
+        returns the tracer."""
+        return tracer
+
+    def open_loop_server_names(self):
+        """Human track names for the open-loop tracer, one per
+        :meth:`open_loop_servers` server."""
+        count, _ = self.open_loop_servers()
+        if count == 1:
+            return [self.name]
+        return ["%s%d" % (self.name, index) for index in range(count)]
+
+    def open_loop_trace_detail(self, frame):
+        """Per-request routing detail attached to traced spans
+        (cluster: owning shard; multicore: serving core)."""
+        return {}
+
     # -- open-loop load (the engine's queueing model) -----------------------
 
     def open_loop_servers(self):
@@ -305,6 +358,14 @@ class MultiCoreBackend(Backend):
         self._require_started()
         return self.target.num_cores, self.target.serving_core
 
+    def open_loop_server_names(self):
+        self._require_started()
+        return ["core%d" % index
+                for index in range(self.target.num_cores)]
+
+    def open_loop_trace_detail(self, frame):
+        return {"core": self.target.serving_core(frame)}
+
     def open_loop_profile(self, frame):
         self._require_started()
         serving = self.target.cores[self.target.serving_core(frame)]
@@ -371,6 +432,21 @@ class ClusterBackend(Backend):
             index = target._shard_index.get(target.owner_of(frame))
             return 0 if index is None else index % count
         return count, route
+
+    def open_loop_server_names(self):
+        self._require_started()
+        return list(self.target._shard_order)
+
+    def open_loop_trace_detail(self, frame):
+        owner = self.target.owner_of(frame)
+        return {} if owner is None else {"shard": owner}
+
+    def attach_tracer(self, tracer):
+        """Cluster membership changes (kills, evictions, rejoins,
+        replica applies, timeouts) become instant events on track 0."""
+        self._require_started()
+        self.target.event_hook = tracer.hook(cat="cluster")
+        return tracer
 
     def open_loop_profile(self, frame):
         self._require_started()

@@ -25,6 +25,8 @@ from repro.deploy.spec import ServiceSpec
 from repro.engine.openloop import ArrivalSpec, run_open_loop
 from repro.errors import TargetError
 from repro.harness.report import render_table
+from repro.obs.series import TimeSeries
+from repro.obs.trace import TraceRecorder
 
 VALID_OPT_LEVELS = (None, 0, 1, 2)
 
@@ -54,12 +56,20 @@ class Deployment:
         self._seed = 1
         self._fault_plan = None
         self._arrivals = None
+        self._profile = False
+        self._series_window_ns = None
         self.backend = None
         self.injector = None
         self.metrics = Metrics()
         #: The last :class:`~repro.engine.openloop.OpenLoopReport`
         #: produced by :meth:`run_open_loop`.
         self.open_loop = None
+        #: The :class:`~repro.obs.trace.TraceRecorder` installed by
+        #: :meth:`with_trace` (``None`` = tracing off, zero cost).
+        self.tracer = None
+        #: The :class:`~repro.obs.series.TimeSeries` of the last
+        #: :meth:`run_open_loop` when :meth:`with_timeseries` is on.
+        self.timeseries = None
 
     # -- fluent configuration ----------------------------------------------
 
@@ -121,6 +131,39 @@ class Deployment:
         self._fault_plan = plan
         return self
 
+    def with_trace(self, tracer=None):
+        """Record a virtual-time trace: request spans from open-loop
+        runs, fault/health/membership instant events from the backend,
+        on one :class:`~repro.obs.trace.TraceRecorder` (provided or
+        created here; on ``self.tracer``, export with
+        ``tracer.write_json(path)``)."""
+        self._require_not_started()
+        self.tracer = tracer if tracer is not None \
+            else TraceRecorder(process=self.spec.name)
+        return self
+
+    def with_timeseries(self, window_us=100.0):
+        """Sample open-loop runs into a windowed time-series
+        (qps, window p50/p99, live queue depths, drops) every
+        *window_us* of virtual time; the series of the last run lands
+        on ``self.timeseries``."""
+        self._require_not_started()
+        window_ns = int(window_us * 1000)
+        if window_ns <= 0:
+            raise TargetError("time-series window must be positive")
+        self._series_window_ns = window_ns
+        return self
+
+    def with_profile(self):
+        """Attribute kernel cycles per FSM state: every compiled
+        kernel the backend builds runs its counting twin, and
+        :meth:`kernel_profile` renders the hotspot table.  Requires
+        :meth:`with_opt` and a service with a flat kernel (start()
+        fails fast otherwise)."""
+        self._require_not_started()
+        self._profile = True
+        return self
+
     # -- lifecycle ----------------------------------------------------------
 
     def start(self):
@@ -133,8 +176,14 @@ class Deployment:
         backend_cls = resolve_backend(self._backend_name)
         self.backend = backend_cls(self.spec, config)
         self.backend.start()
+        if self._profile:
+            self.backend.enable_profiling()
+        if self.tracer is not None:
+            self.backend.attach_tracer(self.tracer)
         if self._fault_plan is not None:
             self.injector = self.backend.attach_faults(self._fault_plan)
+            if self.tracer is not None:
+                self.injector.tracer = self.tracer
         return self
 
     def inject_faults(self, plan):
@@ -145,6 +194,8 @@ class Deployment:
         self._require_started()
         self._fault_plan = plan
         self.injector = self.backend.attach_faults(plan)
+        if self.tracer is not None:
+            self.injector.tracer = self.tracer
         return self.injector
 
     def stop(self):
@@ -231,10 +282,21 @@ class Deployment:
             frames = (lambda count:
                       self.spec.workload(count, seed, **options)
                       if count else [])
+        series = None
+        if self._series_window_ns is not None:
+            series = TimeSeries(window_ns=self._series_window_ns)
+            self.timeseries = series
         self.open_loop = run_open_loop(
             self.backend, self._arrivals, frames, duration_ns,
-            seed=seed)
+            seed=seed, tracer=self.tracer, series=series,
+            injector=self.injector)
         return self.open_loop
+
+    def kernel_profile(self):
+        """The merged per-FSM-state cycle profile across the backend's
+        compiled kernels (:meth:`with_profile` must be on)."""
+        self._require_started()
+        return self.backend.kernel_profile()
 
     # -- models -------------------------------------------------------------
 

@@ -15,37 +15,70 @@ has nothing to report.
 """
 
 from repro.net.dag import LatencyCapture
+from repro.obs.metrics import MetricsRegistry
 
 
 class Metrics:
-    """Request/reply/drop counters + latency and cycle histograms."""
+    """Request/reply/drop counters + latency and cycle histograms.
 
-    def __init__(self):
-        self.requests = 0
-        self.replies = 0
-        self.drops = 0
-        self.batches = 0
+    Since the observability layer landed, this class is a *view* over a
+    :class:`~repro.obs.metrics.MetricsRegistry`: the counters live as
+    labelled registry instruments and each recorded latency also feeds
+    a registry histogram, so ``metrics.registry.snapshot()`` shows the
+    same numbers as :meth:`snapshot` in Prometheus-ish text form and
+    deployment metrics can be aggregated with any other registry user.
+    The raw-sample :class:`~repro.net.dag.LatencyCapture` stays — exact
+    percentiles beat bucketed ones when all samples fit in memory.
+    """
+
+    def __init__(self, registry=None):
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self._requests = self.registry.counter("requests")
+        self._replies = self.registry.counter("replies")
+        self._drops = self.registry.counter("drops")
+        self._batches = self.registry.counter("batches")
+        self._latency_us = self.registry.histogram("latency_us")
         self.latency = LatencyCapture()
         self.core_cycles = []
         self.elapsed_ns = 0.0          # sum of recorded latencies
+
+    # -- counter views (read like the plain ints they once were) ------------
+
+    @property
+    def requests(self):
+        return self._requests.value
+
+    @property
+    def replies(self):
+        return self._replies.value
+
+    @property
+    def drops(self):
+        return self._drops.value
+
+    @property
+    def batches(self):
+        return self._batches.value
 
     # -- recording (one path for every backend) -----------------------------
 
     def record(self, emitted, latency_ns, core_cycles=None):
         """Account one request's outcome (called by the deployment)."""
-        self.requests += 1
+        self._requests.inc()
         if emitted:
-            self.replies += len(emitted)
+            self._replies.inc(len(emitted))
         else:
-            self.drops += 1
+            self._drops.inc()
         if latency_ns is not None:
             self.latency.record(latency_ns)
+            self._latency_us.observe(latency_ns / 1000.0)
             self.elapsed_ns += latency_ns
         if core_cycles is not None:
             self.core_cycles.append(core_cycles)
 
     def record_batch(self):
-        self.batches += 1
+        self._batches.inc()
 
     # -- derived ------------------------------------------------------------
 
@@ -61,6 +94,12 @@ class Metrics:
 
     def p99_latency_us(self):
         return self.latency.p99_us() if self.latency.count else None
+
+    def p999_latency_us(self):
+        """The 99.9th percentile — linear interpolation over the raw
+        samples (never bucket-bound snapping), same as p99."""
+        return self.latency.percentile_us(99.9) if self.latency.count \
+            else None
 
     def average_core_cycles(self):
         if not self.core_cycles:
@@ -94,6 +133,7 @@ class Metrics:
             "reply_rate": self.reply_rate,
             "avg_latency_us": self.average_latency_us(),
             "p99_latency_us": self.p99_latency_us(),
+            "p999_latency_us": self.p999_latency_us(),
             "avg_core_cycles": self.average_core_cycles(),
             "qps": self.qps(),
             "latency_samples": self.latency.count,

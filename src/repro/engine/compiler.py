@@ -233,29 +233,38 @@ def _generate_source(design, reg_names, mem_names):
 
     entry = fsm.idle.transition.if_true.index
     unpack = "(%s,)" % reg_args if reg_names else None
-    out.append("def _run(_regs, _max_cycles):")
-    if reg_names:
-        out.append("    %s = _regs" % unpack)
-    out.append("    _state = %d" % entry)
-    out.append("    _latency = 1")
-    out.append("    _table = _STATES")
-    out.append("    while _state:")
-    out.append("        if _latency >= _max_cycles:")
     message = "design %r did not finish in %%d cycles" % design.name
-    out.append("            raise EngineError(%r %% _max_cycles)"
-               % message)
     call_args = reg_args
-    if reg_names:
-        out.append("        %s, _state = _table[_state](%s)"
-                   % (reg_args, call_args))
-    else:
-        out.append("        _state = _table[_state]()")
-    out.append("        _latency += 1")
-    if reg_names:
-        out.append("    return %s, _latency" % unpack)
-    else:
-        out.append("    return (), _latency")
-    out.append("")
+    # Two driver loops from one template: the plain one is exactly the
+    # pre-observability loop (profiling must cost nothing when off),
+    # the profiled twin adds one counter bump per executed state —
+    # each state is one clock cycle, so the counts are cycles.
+    for profiled in (False, True):
+        out.append("def %s(_regs, _max_cycles%s):"
+                   % ("_run_profiled" if profiled else "_run",
+                      ", _counts" if profiled else ""))
+        if reg_names:
+            out.append("    %s = _regs" % unpack)
+        out.append("    _state = %d" % entry)
+        out.append("    _latency = 1")
+        out.append("    _table = _STATES")
+        out.append("    while _state:")
+        out.append("        if _latency >= _max_cycles:")
+        out.append("            raise EngineError(%r %% _max_cycles)"
+                   % message)
+        if profiled:
+            out.append("        _counts[_state] += 1")
+        if reg_names:
+            out.append("        %s, _state = _table[_state](%s)"
+                       % (reg_args, call_args))
+        else:
+            out.append("        _state = _table[_state]()")
+        out.append("        _latency += 1")
+        if reg_names:
+            out.append("    return %s, _latency" % unpack)
+        else:
+            out.append("    return (), _latency")
+        out.append("")
     return "\n".join(out)
 
 
@@ -303,6 +312,12 @@ class CompiledKernel:
              namespace)
         self._namespace = namespace
         self._run_fn = namespace["_run"]
+        self._profiled_fn = namespace["_run_profiled"]
+        #: Per-state cycle counters (index-aligned with
+        #: ``design.fsm.states``); ``None`` until
+        #: :meth:`enable_profiling` — the disabled path costs one
+        #: ``is None`` test per :meth:`run`.
+        self.state_counts = None
         self._mems = {name: namespace["m_" + name]
                       for name in module.memories}
         self._inputs = {name: 0 for name, _ in design.spec.scalar_params}
@@ -337,6 +352,18 @@ class CompiledKernel:
         """A copy of one memory's full contents."""
         return list(self._mems[name])
 
+    def enable_profiling(self):
+        """Switch to the profiled driver loop: one counter bump per
+        executed state, accumulated in :attr:`state_counts` (read via
+        :meth:`repro.obs.profiler.KernelProfile.from_kernel`)."""
+        if self.state_counts is None:
+            self.state_counts = [0] * len(self.design.fsm.states)
+        return self
+
+    def disable_profiling(self):
+        """Back to the zero-overhead loop; counters are discarded."""
+        self.state_counts = None
+
     def reset(self):
         """Back to power-on: registers, latched inputs, memory init."""
         self._regs = self._reg_inits
@@ -367,7 +394,11 @@ class CompiledKernel:
         regs = list(self._regs)
         for name, slot in zip(self._latch_names, self._latch_slots):
             regs[slot] = self._inputs[name]
-        regs, latency = self._run_fn(tuple(regs), max_cycles)
+        if self.state_counts is None:
+            regs, latency = self._run_fn(tuple(regs), max_cycles)
+        else:
+            regs, latency = self._profiled_fn(tuple(regs), max_cycles,
+                                              self.state_counts)
         self._regs = regs
         self.invocations += 1
         results = tuple(regs[slot] for slot in self._result_slots)

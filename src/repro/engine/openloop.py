@@ -28,6 +28,7 @@ import random
 
 from repro.errors import EngineError
 from repro.engine.sched import Delay, Queue, Scheduler
+from repro.obs.metrics import interpolate_percentile
 
 ARRIVAL_PROCESSES = ("poisson", "uniform")
 #: Fallback ingest depth for direct engine users.  The deploy layer
@@ -136,12 +137,11 @@ class OpenLoopReport:
         return self.queue_drops / self.offered
 
     def _percentile_ns(self, fraction):
-        if not self.latencies_ns:
-            return None
-        ordered = sorted(self.latencies_ns)
-        index = min(len(ordered) - 1,
-                    int(round(fraction * (len(ordered) - 1))))
-        return ordered[index]
+        # Linear interpolation between neighbouring order statistics —
+        # no nearest-rank snapping (see obs.metrics; the Histogram
+        # instrument applies the same rule between bucket bounds).
+        return interpolate_percentile(sorted(self.latencies_ns),
+                                      fraction)
 
     def p50_latency_us(self):
         value = self._percentile_ns(0.50)
@@ -149,6 +149,10 @@ class OpenLoopReport:
 
     def p99_latency_us(self):
         value = self._percentile_ns(0.99)
+        return None if value is None else value / 1000.0
+
+    def p999_latency_us(self):
+        value = self._percentile_ns(0.999)
         return None if value is None else value / 1000.0
 
     def average_latency_us(self):
@@ -160,8 +164,18 @@ class OpenLoopReport:
         return max((server.max_depth for server in self.servers),
                    default=0)
 
+    def mean_queue_depth(self):
+        """Arrival-weighted mean ingest depth across every server (the
+        per-server means are on ``servers[i].mean_depth``)."""
+        arrivals = sum(server.arrivals for server in self.servers)
+        if not arrivals:
+            return 0.0
+        return sum(server.depth_samples
+                   for server in self.servers) / arrivals
+
     def snapshot(self):
-        """A dict with a consistent shape on every backend."""
+        """A dict with a consistent shape on every backend (the
+        README's "Open-loop report shape" section documents it)."""
         return {
             "process": self.spec.process,
             "offered_qps": self.offered_qps,
@@ -175,8 +189,10 @@ class OpenLoopReport:
             "drop_rate": self.drop_rate,
             "p50_latency_us": self.p50_latency_us(),
             "p99_latency_us": self.p99_latency_us(),
+            "p999_latency_us": self.p999_latency_us(),
             "avg_latency_us": self.average_latency_us(),
             "max_queue_depth": self.max_queue_depth(),
+            "mean_queue_depth": self.mean_queue_depth(),
             "servers": len(self.servers),
         }
 
@@ -188,8 +204,9 @@ class OpenLoopReport:
         for key in ("process", "offered_qps", "achieved_qps", "offered",
                     "admitted", "completed", "replies", "queue_drops",
                     "service_drops", "drop_rate", "p50_latency_us",
-                    "p99_latency_us", "avg_latency_us",
-                    "max_queue_depth", "servers"):
+                    "p99_latency_us", "p999_latency_us",
+                    "avg_latency_us", "max_queue_depth",
+                    "mean_queue_depth", "servers"):
             value = snapshot[key]
             if isinstance(value, float):
                 value = "%.3f" % value
@@ -207,7 +224,8 @@ class OpenLoopReport:
                                 if self.latencies_ns else "n/a"))
 
 
-def run_open_loop(backend, spec, frames, duration_ns, seed=1):
+def run_open_loop(backend, spec, frames, duration_ns, seed=1,
+                  tracer=None, series=None, injector=None):
     """Drive *frames* at *spec*'s arrival process through *backend*.
 
     *frames* is a frame list or a factory ``count -> frames`` (the
@@ -219,6 +237,19 @@ def run_open_loop(backend, spec, frames, duration_ns, seed=1):
     for the request's ``service_ns``; the recorded latency is waiting
     time + service time + the backend's constant overhead.  Returns an
     :class:`OpenLoopReport`.
+
+    Observability (all optional, zero-cost when ``None``):
+
+    * *tracer* — a :class:`~repro.obs.trace.TraceRecorder`; its clock
+      is bound to this run's scheduler, every completion emits the
+      request/queue/kernel/reply span family on the server's track,
+      and tail-drops emit instant events.
+    * *series* — a :class:`~repro.obs.series.TimeSeries`; a sampler
+      process flushes a window row every ``series.window_ns`` of
+      virtual time (queue depths read live at each boundary).
+    * *injector* — a :class:`~repro.netsim.faults.FaultInjector` with
+      pending events; they are armed on this scheduler, so plan times
+      are virtual nanoseconds on the same axis as the spans.
     """
     scheduler = Scheduler()
     num_servers, route = backend.open_loop_servers()
@@ -226,10 +257,25 @@ def run_open_loop(backend, spec, frames, duration_ns, seed=1):
     queues = [Queue(capacity=spec.capacity, scheduler=scheduler)
               for _ in range(num_servers)]
 
-    def server(queue, stats):
+    detail_of = None
+    if tracer is not None:
+        tracer.bind_clock(lambda: scheduler.now_ns)
+        detail_of = getattr(backend, "open_loop_trace_detail", None)
+        names = getattr(backend, "open_loop_server_names", None)
+        names = names() if names is not None \
+            else ["server%d" % index for index in range(num_servers)]
+        for index, name in enumerate(names):
+            tracer.name_track(index, name)
+    if injector is not None and injector.pending:
+        if tracer is not None:
+            injector.tracer = tracer
+        injector.arm(scheduler)
+
+    def server(index, queue, stats):
         while True:
-            arrival_ns, service_ns, overhead_ns, emitted = \
+            arrival_ns, service_ns, overhead_ns, emitted, detail = \
                 yield queue.get()
+            dispatch_ns = scheduler.now_ns
             if service_ns > 0:
                 yield Delay(service_ns)
             stats.busy_ns += service_ns
@@ -239,13 +285,47 @@ def run_open_loop(backend, spec, frames, duration_ns, seed=1):
                 report.finished_ns = now
             if emitted:
                 report.replies += len(emitted)
-                report.latencies_ns.append(
-                    now - arrival_ns + overhead_ns)
+                latency_ns = now - arrival_ns + overhead_ns
+                report.latencies_ns.append(latency_ns)
+                if series is not None:
+                    series.observe_latency(latency_ns)
             else:
                 report.service_drops += 1
+            if tracer is not None:
+                args = detail if detail else {}
+                if not emitted:
+                    args = dict(args, dropped=True)
+                tracer.span("request", arrival_ns,
+                            now - arrival_ns + overhead_ns,
+                            track=index, cat="request", args=args)
+                tracer.span("queue", arrival_ns,
+                            dispatch_ns - arrival_ns, track=index,
+                            cat="queue")
+                kernel_name = "kernel"
+                if detail and "shard" in detail:
+                    kernel_name = "hop:%s" % detail["shard"]
+                elif detail and "core" in detail:
+                    kernel_name = "kernel@core%s" % detail["core"]
+                tracer.span(kernel_name, dispatch_ns,
+                            now - dispatch_ns, track=index,
+                            cat="request")
+                if emitted and overhead_ns > 0:
+                    tracer.span("reply", now, int(overhead_ns),
+                                track=index, cat="request")
 
-    for queue, stats in zip(queues, report.servers):
-        scheduler.spawn(server(queue, stats))
+    for index, (queue, stats) in enumerate(zip(queues,
+                                               report.servers)):
+        scheduler.spawn(server(index, queue, stats))
+
+    if series is not None:
+        windows = -(-int(duration_ns) // series.window_ns)   # ceil
+
+        def sampler():
+            for _ in range(windows):
+                yield Delay(series.window_ns)
+                series.flush(scheduler.now_ns, report, queues)
+
+        scheduler.spawn(sampler())
 
     def arrive(frame):
         report.offered += 1
@@ -255,12 +335,21 @@ def run_open_loop(backend, spec, frames, duration_ns, seed=1):
         if queue.full:
             queue.drops += 1
             report.queue_drops += 1
+            if tracer is not None:
+                tracer.instant("tail-drop", track=index, cat="queue",
+                               args={"seq": report.offered - 1,
+                                     "depth": queue.depth})
             return
+        detail = None
+        if tracer is not None:
+            detail = {"seq": report.offered - 1}
+            if detail_of is not None:
+                detail.update(detail_of(frame))
         emitted, service_ns, overhead_ns = \
             backend.open_loop_profile(frame)
         report.admitted += 1
         queue.try_put((scheduler.now_ns, service_ns, overhead_ns,
-                       emitted))
+                       emitted, detail))
 
     rng = random.Random("%s/openloop/%s/%s" % (seed, spec.process,
                                                spec.qps))
@@ -272,4 +361,7 @@ def run_open_loop(backend, spec, frames, duration_ns, seed=1):
     for when, frame in zip(times, frames):
         scheduler.schedule(when, lambda f=frame: arrive(f.copy()))
     scheduler.run(max_events=max(1_000_000, 32 * len(times)))
+    if series is not None:
+        series.finish(max(scheduler.now_ns, report.finished_ns),
+                      report, queues)
     return report

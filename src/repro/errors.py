@@ -83,3 +83,7 @@ class HostModelError(ReproError):
 
 class ClusterError(ReproError):
     """The scale-out cluster layer was misconfigured."""
+
+
+class ObsError(ReproError):
+    """The observability layer (tracing/metrics/profiling) was misused."""

@@ -150,6 +150,10 @@ class FaultInjector:
         self.target = target
         self._due = list(plan.events)       # sorted by FaultPlan.at
         self.fired = []                     # [(at, label)]
+        #: Optional TraceRecorder (duck-typed; set by the deploy
+        #: layer) — each firing emits an instant event at its
+        #: scheduled time on the shared virtual-time axis.
+        self.tracer = None
 
     @property
     def pending(self):
@@ -158,6 +162,10 @@ class FaultInjector:
     def _fire(self, event):
         self.fired.append((event.at, event.label))
         event.action(self.target)
+        if self.tracer is not None:
+            self.tracer.instant("fault:%s" % event.label,
+                                ts_ns=int(event.at), cat="fault",
+                                args={"at": event.at})
 
     def advance_to(self, now):
         """Fire every event scheduled at or before *now* (manual pump

@@ -1,0 +1,33 @@
+"""``repro.obs`` — observability for every backend, on virtual time.
+
+Three instruments over one clock (the engine scheduler's ``now_ns``):
+
+* :class:`~repro.obs.trace.TraceRecorder` — per-request spans and
+  instant events (faults, detector transitions, tail-drops), exported
+  as Chrome trace-event JSON (Perfetto-loadable) and TSV;
+* :class:`~repro.obs.metrics.MetricsRegistry` — labelled counters /
+  gauges / histograms that :class:`~repro.deploy.metrics.Metrics` is a
+  view over, plus :class:`~repro.obs.series.TimeSeries`, the windowed
+  sampler that turns an open-loop run into qps/p99/queue-depth/drop
+  time-series;
+* :class:`~repro.obs.profiler.KernelProfile` — cycles per FSM state on
+  the compiled engine, the hotspot table behind the optimizer's wins.
+
+This package is a leaf: it imports nothing above the error hierarchy
+and the table renderer, so every layer (engine, targets, cluster,
+deploy) can depend on it without cycles.  All instrumentation is
+opt-in and zero-cost when disabled — the hot paths carry one ``is
+None`` check, gated by ``benchmarks/test_obs_overhead.py``.
+"""
+
+from repro.obs.metrics import (Counter, Gauge, Histogram,
+                               MetricsRegistry, interpolate_percentile)
+from repro.obs.profiler import KernelProfile, merge_profiles
+from repro.obs.series import TimeSeries, Window
+from repro.obs.trace import TraceRecorder
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "interpolate_percentile", "KernelProfile", "merge_profiles",
+    "TimeSeries", "Window", "TraceRecorder",
+]

@@ -1,0 +1,232 @@
+"""Labelled metrics instruments: counters, gauges, histograms.
+
+The registry is the one namespace a deployment's counters live in.
+:class:`~repro.deploy.metrics.Metrics` is a *view* over one of these —
+its ``requests``/``replies``/``drops`` attributes read registry
+counters — so ad-hoc experiment counters and the uniform deployment
+accounting share instruments instead of drifting apart, and anything
+watching a deployment (the coming control plane, the time-series
+sampler) reads one snapshot.
+
+Instruments are deliberately tiny:
+
+* :class:`Counter` — monotonically increasing.
+* :class:`Gauge` — last-write-wins level (queue depth, live shards).
+* :class:`Histogram` — fixed bucket bounds, O(1) observe.  Percentiles
+  interpolate linearly *within* the covering bucket instead of
+  snapping to its upper bound, so an estimate moves smoothly with the
+  data rather than jumping bucket-to-bucket (regression-tested on
+  crafted samples).
+
+Labels are keyword pairs (``counter("drops", server="shard3")``); each
+distinct label set is its own instrument, and snapshots render them
+``name{k=v,...}`` with sorted keys, so output order is deterministic.
+"""
+
+from repro.errors import ObsError
+
+#: Default latency histogram bounds (µs): sub-µs device latencies up
+#: through host-stack milliseconds, roughly log-spaced.
+DEFAULT_LATENCY_BOUNDS_US = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500,
+    1_000, 2_000, 5_000, 10_000, 50_000)
+
+
+def interpolate_percentile(sorted_samples, fraction):
+    """Linear-interpolation percentile over pre-sorted raw samples
+    (``fraction`` in [0, 1]); shared by the open-loop report and the
+    time-series sampler."""
+    if not sorted_samples:
+        return None
+    if len(sorted_samples) == 1:
+        return sorted_samples[0]
+    rank = fraction * (len(sorted_samples) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_samples) - 1)
+    weight = rank - low
+    return sorted_samples[low] * (1.0 - weight) + \
+        sorted_samples[high] * weight
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount=1):
+        if amount < 0:
+            raise ObsError("counters only go up (inc %r)" % (amount,))
+        self.value += amount
+
+    def __repr__(self):
+        return "Counter(%d)" % self.value
+
+
+class Gauge:
+    """A last-write-wins level."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value):
+        self.value = value
+
+    def __repr__(self):
+        return "Gauge(%r)" % (self.value,)
+
+
+class Histogram:
+    """Fixed-bound bucketed distribution with interpolated percentiles.
+
+    *bounds* are ascending bucket upper bounds; one overflow bucket
+    catches everything beyond the last bound.  ``observe`` is O(log
+    buckets); the raw samples are not kept (that is what makes the
+    instrument safe at qps) — exact-sample percentiles live where the
+    samples do (:class:`~repro.net.dag.LatencyCapture`).
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds=DEFAULT_LATENCY_BOUNDS_US):
+        bounds = tuple(float(bound) for bound in bounds)
+        if not bounds:
+            raise ObsError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(set(bounds)):
+            raise ObsError("histogram bounds must be strictly ascending")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value):
+        low, high = 0, len(self.bounds)
+        while low < high:
+            mid = (low + high) // 2
+            if value <= self.bounds[mid]:
+                high = mid
+            else:
+                low = mid + 1
+        self.counts[low] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def mean(self):
+        return self.total / self.count if self.count else None
+
+    def percentile(self, pct):
+        """Estimate the *pct* percentile by linear interpolation
+        between the covering bucket's bounds (never upper-bound
+        snapping), clamped to the observed min/max so a one-sample
+        histogram reports the sample, not a bucket edge."""
+        if not self.count:
+            return None
+        if not 0.0 <= pct <= 100.0:
+            raise ObsError("percentile must be in [0, 100]")
+        target = (pct / 100.0) * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if cumulative + bucket_count < target or not bucket_count:
+                cumulative += bucket_count
+                continue
+            lower = self.bounds[index - 1] if index > 0 else \
+                min(0.0, self.min)
+            upper = self.bounds[index] if index < len(self.bounds) \
+                else self.max
+            lower = max(lower, self.min)
+            upper = min(upper, self.max)
+            if upper <= lower:
+                return lower
+            position = (target - cumulative) / bucket_count
+            return lower + (upper - lower) * position
+        return self.max
+
+    def to_dict(self):
+        return {"count": self.count, "mean": self.mean(),
+                "min": self.min, "max": self.max,
+                "p50": self.percentile(50.0),
+                "p99": self.percentile(99.0),
+                "p999": self.percentile(99.9)}
+
+    def __repr__(self):
+        return "Histogram(count=%d, buckets=%d)" % (
+            self.count, len(self.counts))
+
+
+def _key(name, labels):
+    return (name, tuple(sorted(labels.items())))
+
+
+def _render(name, labels):
+    if not labels:
+        return name
+    return "%s{%s}" % (name, ",".join(
+        "%s=%s" % pair for pair in sorted(labels.items())))
+
+
+class MetricsRegistry:
+    """One namespace of labelled instruments.
+
+    ``counter``/``gauge``/``histogram`` get-or-create, so producers
+    never coordinate registration; asking for an existing name with a
+    different instrument kind is an error (one name, one meaning).
+    """
+
+    def __init__(self):
+        self._instruments = {}      # (name, labels) -> instrument
+
+    def _get(self, cls, name, labels, factory):
+        key = _key(name, labels)
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, cls):
+            raise ObsError(
+                "%r is already a %s, not a %s"
+                % (_render(name, labels),
+                   type(instrument).__name__, cls.__name__))
+        return instrument
+
+    def counter(self, name, **labels):
+        return self._get(Counter, name, labels, Counter)
+
+    def gauge(self, name, **labels):
+        return self._get(Gauge, name, labels, Gauge)
+
+    def histogram(self, name, bounds=DEFAULT_LATENCY_BOUNDS_US,
+                  **labels):
+        return self._get(Histogram, name, labels,
+                         lambda: Histogram(bounds))
+
+    def __len__(self):
+        return len(self._instruments)
+
+    def __contains__(self, name):
+        return any(key[0] == name for key in self._instruments)
+
+    def snapshot(self):
+        """``{rendered-name: value-or-histogram-dict}``, sorted keys —
+        a deterministic, JSON-able dump of every instrument."""
+        out = {}
+        for (name, labels), instrument in sorted(
+                self._instruments.items()):
+            rendered = _render(name, dict(labels))
+            if isinstance(instrument, Histogram):
+                out[rendered] = instrument.to_dict()
+            else:
+                out[rendered] = instrument.value
+        return out
+
+    def __repr__(self):
+        return "MetricsRegistry(%d instruments)" % len(self)

@@ -1,0 +1,185 @@
+"""Windowed time-series over an open-loop run.
+
+One end-of-run ``OpenLoopReport`` says *what* happened; this sampler
+says *when*: the run is cut into fixed virtual-time windows, and at
+each boundary the sampler snapshots the cumulative report counters
+(deltas become per-window rates) and the live per-server ingest queue
+depths (a gauge read at the boundary instant).  Per-window latency
+percentiles come from the window's own completions, so a mid-run fault
+shows up as the qps dip / drop spike / p99 bulge in exactly the rows
+whose windows overlap the fault — the alignment the autonomous control
+plane will steer by.
+
+Everything derives from the seeded run, so the exported TSV is
+byte-identical across repeat runs (fixed ``%.3f`` formatting, no wall
+clock anywhere).
+
+The open-loop layer drives the live interface (``observe_latency`` per
+completion, ``flush`` at each boundary); consumers read :attr:`rows`
+or :meth:`to_tsv`.
+"""
+
+from repro.errors import ObsError
+from repro.obs.metrics import interpolate_percentile
+
+
+class Window:
+    """One sampled window: counter deltas + boundary gauges."""
+
+    __slots__ = ("start_ns", "end_ns", "offered", "admitted",
+                 "completed", "replies", "queue_drops", "service_drops",
+                 "p50_us", "p99_us", "depths", "busy_fraction")
+
+    def __init__(self, start_ns, end_ns, offered, admitted, completed,
+                 replies, queue_drops, service_drops, p50_us, p99_us,
+                 depths, busy_fraction):
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+        self.offered = offered
+        self.admitted = admitted
+        self.completed = completed
+        self.replies = replies
+        self.queue_drops = queue_drops
+        self.service_drops = service_drops
+        self.p50_us = p50_us
+        self.p99_us = p99_us
+        self.depths = depths            # per-server depth at end_ns
+        self.busy_fraction = busy_fraction
+
+    @property
+    def span_ns(self):
+        return self.end_ns - self.start_ns
+
+    @property
+    def qps(self):
+        """Completions per second in this window."""
+        return self.completed * 1e9 / self.span_ns if self.span_ns \
+            else 0.0
+
+    @property
+    def reply_qps(self):
+        """Replies per second — the line that dips under faults (a
+        timed-out request completes but answers nothing)."""
+        return self.replies * 1e9 / self.span_ns if self.span_ns \
+            else 0.0
+
+    @property
+    def drops(self):
+        return self.queue_drops + self.service_drops
+
+    @property
+    def max_depth(self):
+        return max(self.depths, default=0)
+
+    @property
+    def mean_depth(self):
+        if not self.depths:
+            return 0.0
+        return sum(self.depths) / len(self.depths)
+
+
+class TimeSeries:
+    """Accumulates :class:`Window` rows during an open-loop run."""
+
+    #: Aggregate TSV columns (per-server ``depth<i>`` columns follow).
+    COLUMNS = ("t_ms", "window_ms", "offered", "admitted", "completed",
+               "replies", "queue_drops", "service_drops", "qps",
+               "reply_qps", "p50_us", "p99_us", "busy_frac",
+               "depth_mean", "depth_max")
+
+    def __init__(self, window_ns):
+        if window_ns <= 0:
+            raise ObsError("window must be positive")
+        self.window_ns = int(window_ns)
+        self.rows = []
+        self._window_latencies = []
+        self._last = None               # previous cumulative snapshot
+        self._last_busy = None
+        self._last_end_ns = 0
+
+    # -- live interface (driven by the open-loop layer) ----------------------
+
+    def observe_latency(self, latency_ns):
+        self._window_latencies.append(latency_ns)
+
+    def flush(self, now_ns, report, queues):
+        """Close the window ending at *now_ns* against the cumulative
+        *report* counters and the live *queues*."""
+        current = (report.offered, report.admitted, report.completed,
+                   report.replies, report.queue_drops,
+                   report.service_drops)
+        previous = self._last if self._last is not None \
+            else (0, 0, 0, 0, 0, 0)
+        delta = [now - before for now, before in zip(current, previous)]
+        busy = sum(server.busy_ns for server in report.servers)
+        busy_before = self._last_busy if self._last_busy is not None \
+            else 0.0
+        span_ns = now_ns - self._last_end_ns
+        capacity_ns = span_ns * max(1, len(report.servers))
+        ordered = sorted(self._window_latencies)
+        p50 = interpolate_percentile(ordered, 0.50)
+        p99 = interpolate_percentile(ordered, 0.99)
+        self.rows.append(Window(
+            self._last_end_ns, now_ns, *delta,
+            p50_us=None if p50 is None else p50 / 1000.0,
+            p99_us=None if p99 is None else p99 / 1000.0,
+            depths=[queue.depth for queue in queues],
+            busy_fraction=(busy - busy_before) / capacity_ns
+            if capacity_ns else 0.0))
+        self._window_latencies = []
+        self._last = current
+        self._last_busy = busy
+        self._last_end_ns = now_ns
+
+    def finish(self, now_ns, report, queues):
+        """Capture the post-duration tail (completions still draining
+        after the last full window) as one final partial row."""
+        if now_ns > self._last_end_ns and (
+                self._window_latencies or self._last !=
+                (report.offered, report.admitted, report.completed,
+                 report.replies, report.queue_drops,
+                 report.service_drops)):
+            self.flush(now_ns, report, queues)
+
+    # -- consumption ---------------------------------------------------------
+
+    def __len__(self):
+        return len(self.rows)
+
+    def windows_overlapping(self, start_ns, end_ns):
+        """Rows whose ``[start, end)`` intersects the given range —
+        the assert surface for "the dip aligns with the fault"."""
+        return [row for row in self.rows
+                if row.start_ns < end_ns and row.end_ns > start_ns]
+
+    def to_tsv(self):
+        servers = max((len(row.depths) for row in self.rows), default=0)
+        header = list(self.COLUMNS) + \
+            ["depth%d" % index for index in range(servers)]
+        lines = ["\t".join(header)]
+        for row in self.rows:
+            cells = ["%.3f" % (row.start_ns / 1e6),
+                     "%.3f" % (row.span_ns / 1e6),
+                     "%d" % row.offered, "%d" % row.admitted,
+                     "%d" % row.completed, "%d" % row.replies,
+                     "%d" % row.queue_drops, "%d" % row.service_drops,
+                     "%.1f" % row.qps, "%.1f" % row.reply_qps,
+                     "n/a" if row.p50_us is None else
+                     "%.3f" % row.p50_us,
+                     "n/a" if row.p99_us is None else
+                     "%.3f" % row.p99_us,
+                     "%.4f" % row.busy_fraction,
+                     "%.2f" % row.mean_depth, "%d" % row.max_depth]
+            cells += ["%d" % depth for depth in row.depths]
+            cells += ["0"] * (servers - len(row.depths))
+            lines.append("\t".join(cells))
+        return "\n".join(lines) + "\n"
+
+    def write_tsv(self, path):
+        with open(path, "w") as handle:
+            handle.write(self.to_tsv())
+        return path
+
+    def __repr__(self):
+        return "TimeSeries(%d windows of %.3f ms)" % (
+            len(self.rows), self.window_ns / 1e6)

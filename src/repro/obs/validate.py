@@ -1,0 +1,94 @@
+"""Chrome trace-event JSON schema validation (stdlib only).
+
+    python -m repro.obs.validate /tmp/trace.json
+
+Exit 0 when the file is a structurally valid trace our exporters could
+have produced (and Perfetto will load); exit 1 with the first violation
+otherwise.  CI's trace-smoke job gates on this, so a refactor that
+silently breaks the export format fails loudly.
+"""
+
+import json
+import sys
+
+REQUIRED = {"name", "ph", "ts", "pid", "tid"}
+PHASES = {"X", "i", "M"}
+
+
+def validate_trace(document):
+    """Return a list of violations (empty = valid)."""
+    problems = []
+    if not isinstance(document, dict):
+        return ["top level must be an object with a traceEvents array"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    if not any(isinstance(event, dict) and event.get("ph") == "X"
+               for event in events):
+        problems.append("trace has no spans (ph 'X')")
+    last_ts = None
+    for index, event in enumerate(events):
+        where = "traceEvents[%d]" % index
+        if not isinstance(event, dict):
+            problems.append("%s: not an object" % where)
+            continue
+        missing = REQUIRED - set(event)
+        if missing:
+            problems.append("%s: missing %s"
+                            % (where, ", ".join(sorted(missing))))
+            continue
+        phase = event["ph"]
+        if phase not in PHASES:
+            problems.append("%s: unknown phase %r" % (where, phase))
+            continue
+        if phase == "M":
+            continue                      # metadata: no timestamp rules
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append("%s: bad ts %r" % (where, ts))
+            continue
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append("%s: span needs dur >= 0, got %r"
+                                % (where, dur))
+        if phase == "i" and event.get("s") not in ("g", "p", "t"):
+            problems.append("%s: instant needs scope g/p/t" % where)
+        if last_ts is not None and ts < last_ts:
+            problems.append("%s: timestamps not sorted (%r < %r)"
+                            % (where, ts, last_ts))
+        last_ts = ts
+    return problems
+
+
+def validate_file(path):
+    with open(path) as handle:
+        try:
+            document = json.load(handle)
+        except ValueError as error:
+            return ["not JSON: %s" % error]
+    return validate_trace(document)
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.validate <trace.json>",
+              file=sys.stderr)
+        return 2
+    problems = validate_file(argv[0])
+    if problems:
+        for problem in problems:
+            print("INVALID: %s" % problem, file=sys.stderr)
+        return 1
+    with open(argv[0]) as handle:
+        events = json.load(handle)["traceEvents"]
+    spans = sum(1 for event in events if event.get("ph") == "X")
+    instants = sum(1 for event in events if event.get("ph") == "i")
+    print("valid Chrome trace: %d events (%d spans, %d instants)"
+          % (len(events), spans, instants))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -112,6 +112,14 @@ class FpgaTarget:
         #: core).  The open-loop load layer reads this.
         self.service_times_ns = []
 
+    @property
+    def cycle_model(self):
+        """The compiled-kernel cycle model driving this device's core
+        counts (``None`` on the behavioural pause-count path) — the
+        observability layer reaches it here to enable per-FSM-state
+        profiling."""
+        return self.pipeline.cycle_model
+
     def _extra_cycles(self, frame):
         """Byte-serial datapath work beyond the handler's own pauses.
 

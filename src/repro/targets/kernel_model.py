@@ -65,6 +65,34 @@ class KernelCycleModel:
         else:
             self.sim.poke_memory(name, addr, value)
 
+    # -- profiling (per-FSM-state cycle attribution) -------------------------
+
+    def enable_profiling(self):
+        """Switch the engine runner to its per-state-counting twin
+        (:meth:`repro.engine.compiler.CompiledKernel.enable_profiling`);
+        only the engine path has the counters, the interpreted netlist
+        fallback raises."""
+        if self._runner is None:
+            raise TargetError(
+                "per-state profiling needs the compiled engine runner "
+                "(use_engine=True)")
+        self._runner.enable_profiling()
+        return self
+
+    def disable_profiling(self):
+        if self._runner is not None:
+            self._runner.disable_profiling()
+
+    def profile(self):
+        """The accumulated :class:`~repro.obs.profiler.KernelProfile`
+        (raises unless :meth:`enable_profiling` ran first)."""
+        if self._runner is None:
+            raise TargetError(
+                "per-state profiling needs the compiled engine runner "
+                "(use_engine=True)")
+        from repro.obs.profiler import KernelProfile
+        return KernelProfile.from_kernel(self._runner)
+
     def cycles(self, frame):
         """Measured latency (cycles) of one frame through the kernel."""
         image = list(frame.data)[:self.depth]

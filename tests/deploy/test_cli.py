@@ -46,3 +46,63 @@ def test_matrix_flag(capsys):
     out = capsys.readouterr().out
     assert "Backend conformance" in out
     assert "MISMATCH" not in out
+
+
+def test_trace_and_timeseries_flags(capsys, tmp_path):
+    import json
+    from repro.obs.validate import validate_trace
+    trace = str(tmp_path / "trace.json")
+    series = str(tmp_path / "series.tsv")
+    code = main(["--service", "memcached", "--backend", "fpga",
+                 "--arrivals", "poisson", "--qps", "500000",
+                 "--duration-ms", "0.1", "--seed", "9",
+                 "--trace", trace, "--timeseries", series,
+                 "--window-us", "25"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "trace:" in out
+    assert "time-series:" in out
+    with open(trace) as handle:
+        assert validate_trace(json.load(handle)) == []
+    with open(series) as handle:
+        assert handle.readline().startswith("t_ms\twindow_ms")
+    with open(trace + ".tsv") as handle:
+        assert handle.readline().startswith("ts_ns\tdur_ns")
+
+
+def test_profile_flag_prints_hotspots(capsys):
+    code = main(["--service", "memcached", "--backend", "fpga",
+                 "--opt", "2", "--profile", "--requests", "8",
+                 "--seed", "9"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Kernel profile" in out
+    assert "Share" in out
+
+
+def test_profile_without_opt_is_an_error(capsys):
+    assert main(["--profile", "--requests", "1"]) == 2
+    assert "--profile needs --opt" in capsys.readouterr().err
+
+
+def test_timeseries_without_arrivals_is_an_error(capsys, tmp_path):
+    code = main(["--timeseries", str(tmp_path / "x.tsv"),
+                 "--requests", "1"])
+    assert code == 2
+    assert "--timeseries needs --arrivals" in capsys.readouterr().err
+
+
+def test_validate_cli(capsys, tmp_path):
+    from repro.obs.validate import main as validate_main
+    trace = str(tmp_path / "trace.json")
+    assert main(["--service", "memcached", "--backend", "fpga",
+                 "--arrivals", "poisson", "--qps", "500000",
+                 "--duration-ms", "0.05", "--seed", "9",
+                 "--trace", trace]) == 0
+    capsys.readouterr()
+    assert validate_main([trace]) == 0
+    assert "valid Chrome trace" in capsys.readouterr().out
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"traceEvents": []}')
+    assert validate_main([str(bad)]) == 1
+    assert validate_main([]) == 2

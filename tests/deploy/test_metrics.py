@@ -1,7 +1,10 @@
 """The uniform Metrics object: accounting, histograms, snapshots."""
 
+import pytest
+
 from repro.deploy.metrics import Metrics
 from repro.net.packet import Frame
+from repro.obs.metrics import MetricsRegistry
 
 
 def _frame():
@@ -41,13 +44,64 @@ class TestRecording:
         assert abs(metrics.qps() - 1e6) < 1e-6
 
 
+class TestPercentiles:
+    def test_p999_interpolates_over_raw_samples(self):
+        metrics = Metrics()
+        for latency_ns in range(1000, 2001):       # 1001 samples
+            metrics.record([(0, _frame())], float(latency_ns))
+        # Linear ramp 1.0..2.0 us: the p-th percentile IS 1 + p/100.
+        assert metrics.p99_latency_us() == pytest.approx(1.99)
+        assert metrics.p999_latency_us() == pytest.approx(1.999)
+
+    def test_p999_never_snaps_to_a_bucket_bound(self):
+        metrics = Metrics()
+        metrics.record([(0, _frame())], 3700.0)    # 3.7 us
+        # One sample: every percentile is the sample, not the nearest
+        # histogram bucket bound (2 or 5 us).
+        assert metrics.p99_latency_us() == pytest.approx(3.7)
+        assert metrics.p999_latency_us() == pytest.approx(3.7)
+
+    def test_empty_percentiles_are_none(self):
+        metrics = Metrics()
+        assert metrics.p999_latency_us() is None
+
+
+class TestRegistryView:
+    def test_counters_live_in_the_registry(self):
+        metrics = Metrics()
+        metrics.record([(0, _frame())], 1000.0)
+        metrics.record([], None)
+        metrics.record_batch()
+        snapshot = metrics.registry.snapshot()
+        assert snapshot["requests"] == 2
+        assert snapshot["replies"] == 1
+        assert snapshot["drops"] == 1
+        assert snapshot["batches"] == 1
+        assert snapshot["latency_us"]["count"] == 1
+
+    def test_view_reads_match_registry_counters(self):
+        metrics = Metrics()
+        metrics.record([(0, _frame())], 1000.0)
+        assert metrics.requests == \
+            metrics.registry.counter("requests").value
+
+    def test_shared_registry_aggregates_deployments(self):
+        registry = MetricsRegistry()
+        a = Metrics(registry=registry)
+        b = Metrics(registry=registry)
+        a.record([(0, _frame())], 1000.0)
+        b.record([(0, _frame())], 2000.0)
+        assert registry.snapshot()["requests"] == 2
+        assert a.requests == 2                     # shared namespace
+
+
 class TestEmptyShapes:
     def test_empty_snapshot_has_every_key(self):
         snapshot = Metrics().snapshot()
         for key in ("requests", "replies", "drops", "batches",
                     "reply_rate", "avg_latency_us", "p99_latency_us",
-                    "avg_core_cycles", "qps", "latency_samples",
-                    "cycle_samples"):
+                    "p999_latency_us", "avg_core_cycles", "qps",
+                    "latency_samples", "cycle_samples"):
             assert key in snapshot
         assert snapshot["avg_latency_us"] is None
         assert snapshot["qps"] is None

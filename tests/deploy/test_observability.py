@@ -1,0 +1,205 @@
+"""Deployment-level observability: trace determinism across backends,
+fault/time-series alignment on one virtual-time axis, and the
+profiler's deployment surface."""
+
+import json
+
+import pytest
+
+from repro.deploy import deploy
+from repro.errors import ObsError, TargetError
+from repro.netsim.faults import FaultPlan
+from repro.obs.validate import validate_trace
+
+SEED = 11
+
+#: Backends the trace-determinism property must hold on (satellite:
+#: identical seeds -> byte-identical exported trace JSON).
+TRACED_BACKENDS = [
+    ("cpu", {}),
+    ("fpga", {}),
+    ("multicore", {"cores": 2}),
+    ("cluster", {"shards": 2}),
+]
+
+
+def _traced_run(backend, kwargs, qps=1_500_000.0, duration_ms=0.2):
+    dep = (deploy("memcached").on(backend, **kwargs)
+           .with_seed(SEED)
+           .with_arrivals("poisson", qps=qps)
+           .with_trace().with_timeseries(window_us=50.0)
+           .start())
+    dep.run_open_loop(duration_ms=duration_ms)
+    trace_json = dep.tracer.to_json()
+    series_tsv = dep.timeseries.to_tsv()
+    dep.stop()
+    return trace_json, series_tsv
+
+
+class TestTraceDeterminism:
+    @pytest.mark.parametrize("backend,kwargs", TRACED_BACKENDS)
+    def test_identical_seeds_identical_exports(self, backend, kwargs):
+        first = _traced_run(backend, kwargs)
+        second = _traced_run(backend, kwargs)
+        assert first[0] == second[0]           # trace JSON, byte-equal
+        assert first[1] == second[1]           # time-series TSV too
+
+    @pytest.mark.parametrize("backend,kwargs", TRACED_BACKENDS)
+    def test_exports_are_valid_chrome_traces(self, backend, kwargs):
+        trace_json, _ = _traced_run(backend, kwargs)
+        assert validate_trace(json.loads(trace_json)) == []
+
+
+class TestOpenLoopSpans:
+    def test_request_spans_carry_routing_detail(self):
+        dep = (deploy("memcached").on("cluster", shards=2)
+               .with_seed(SEED)
+               .with_arrivals("poisson", qps=1_000_000.0)
+               .with_trace().start())
+        report = dep.run_open_loop(duration_ms=0.1)
+        spans = dep.tracer.find("request", cat="request")
+        assert len(spans) == report.completed
+        assert all("shard" in span["args"] for span in spans)
+        assert all("seq" in span["args"] for span in spans)
+        hops = dep.tracer.find("hop:")
+        assert len(hops) == report.completed
+        dep.stop()
+
+    def test_span_family_nests_within_the_request(self):
+        dep = (deploy("memcached").on("fpga").with_seed(SEED)
+               .with_arrivals("poisson", qps=1_000_000.0)
+               .with_trace().start())
+        dep.run_open_loop(duration_ms=0.1)
+        request = dep.tracer.find("request", cat="request")[0]
+        queue = dep.tracer.find("queue", cat="queue")[0]
+        kernel = dep.tracer.find("kernel")[0]
+        assert queue["ts"] == request["ts"]
+        assert kernel["ts"] == queue["ts"] + queue["dur"]
+        assert kernel["ts"] + kernel["dur"] <= \
+            request["ts"] + request["dur"]
+        dep.stop()
+
+    def test_tracks_are_named_after_the_servers(self):
+        dep = (deploy("memcached").on("cluster", shards=2)
+               .with_seed(SEED)
+               .with_arrivals("poisson", qps=500_000.0)
+               .with_trace().start())
+        dep.run_open_loop(duration_ms=0.05)
+        assert dep.tracer.track_names == {0: "shard0", 1: "shard1"}
+        dep.stop()
+
+    def test_overload_emits_tail_drop_instants(self):
+        dep = (deploy("memcached").on("fpga").with_seed(SEED)
+               .with_arrivals("poisson", qps=40_000_000.0, capacity=4)
+               .with_trace().start())
+        report = dep.run_open_loop(duration_ms=0.05)
+        drops = dep.tracer.find("tail-drop", cat="queue")
+        assert report.queue_drops > 0
+        assert len(drops) == report.queue_drops
+        dep.stop()
+
+    def test_untraced_run_records_nothing(self):
+        dep = (deploy("memcached").on("fpga").with_seed(SEED)
+               .with_arrivals("poisson", qps=1_000_000.0)
+               .start())
+        dep.run_open_loop(duration_ms=0.05)
+        assert dep.tracer is None
+        dep.stop()
+
+
+class TestFaultAlignment:
+    """The acceptance scenario: a seeded cluster run with a fault plan
+    puts the request spans, the fault instants, the detector
+    transitions, and the qps dip on one virtual-time axis."""
+
+    KILL_NS = 200_000
+    RESTORE_NS = 400_000
+
+    def _run(self):
+        plan = (FaultPlan()
+                .kill_shard(self.KILL_NS, "shard1")
+                .restore_shard(self.RESTORE_NS, "shard1"))
+        dep = (deploy("memcached").on("cluster", shards=4)
+               .with_seed(SEED)
+               .with_arrivals("poisson", qps=2_000_000.0)
+               .with_faults(plan)
+               .with_trace().with_timeseries(window_us=100.0)
+               .start())
+        report = dep.run_open_loop(duration_ms=0.6)
+        return dep, report
+
+    def test_fault_instants_fire_at_plan_times(self):
+        dep, _ = self._run()
+        kills = dep.tracer.find("fault:kill shard1")
+        restores = dep.tracer.find("fault:restore shard1")
+        assert [event["ts"] for event in kills] == [self.KILL_NS]
+        assert [event["ts"] for event in restores] == [self.RESTORE_NS]
+        dep.stop()
+
+    def test_detector_transitions_share_the_axis(self):
+        dep, _ = self._run()
+        (kill,) = dep.tracer.find("kill:shard1", cat="cluster")
+        (evict,) = dep.tracer.find("evict:shard1", cat="cluster")
+        timeouts = dep.tracer.find("timeout:shard1", cat="cluster")
+        # kill at the plan time; then suspect_after=3 timed-out
+        # requests feed the detector; the eviction coincides with the
+        # third miss.
+        assert kill["ts"] == self.KILL_NS
+        assert len(timeouts) == 3
+        assert evict["ts"] == timeouts[-1]["ts"]
+        assert self.KILL_NS < evict["ts"] < self.RESTORE_NS
+        dep.stop()
+
+    def test_reply_dip_aligns_with_the_fault_window(self):
+        dep, report = self._run()
+        series = dep.timeseries
+        (evict,) = dep.tracer.find("evict:shard1", cat="cluster")
+        outage = series.windows_overlapping(self.KILL_NS, evict["ts"])
+        healthy = [row for row in series.rows if row not in outage]
+        assert sum(row.service_drops for row in outage) == \
+            report.service_drops > 0
+        assert all(row.service_drops == 0 for row in healthy)
+        dep.stop()
+
+    def test_whole_scenario_is_deterministic(self):
+        first_dep, _ = self._run()
+        second_dep, _ = self._run()
+        assert first_dep.tracer.to_json() == second_dep.tracer.to_json()
+        assert first_dep.timeseries.to_tsv() == \
+            second_dep.timeseries.to_tsv()
+        first_dep.stop()
+        second_dep.stop()
+
+
+class TestDeploymentProfile:
+    def test_with_profile_needs_compiled_kernels(self):
+        dep = deploy("memcached").on("cpu").with_profile()
+        with pytest.raises(TargetError):
+            dep.start()
+
+    def test_profile_counts_closed_loop_requests(self):
+        dep = (deploy("memcached").on("fpga").with_seed(SEED)
+               .with_opt(2).with_profile().start())
+        dep.run(count=8, seed=SEED, protocol="binary")
+        profile = dep.kernel_profile()
+        assert profile.invocations == 8
+        assert profile.total_cycles + profile.invocations == \
+            sum(dep.metrics.core_cycles)
+        dep.stop()
+
+    def test_multicore_profiles_merge_across_cores(self):
+        dep = (deploy("memcached").on("multicore", cores=2)
+               .with_seed(SEED).with_opt(2).with_profile().start())
+        dep.run(count=8, seed=SEED, protocol="binary")
+        profile = dep.kernel_profile()
+        # Replicated writes also run on the other core, so the merged
+        # invocation count is at least the request count.
+        assert profile.invocations >= 8
+        dep.stop()
+
+    def test_kernel_profile_without_with_profile_raises(self):
+        dep = (deploy("memcached").on("fpga").with_seed(SEED)
+               .with_opt(2).start())
+        with pytest.raises(ObsError):
+            dep.kernel_profile()
+        dep.stop()

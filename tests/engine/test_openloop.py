@@ -143,3 +143,38 @@ class TestOpenLoopRuns:
         text = report.text()
         assert "Open loop" in text
         assert "p99_latency_us" in text
+        assert "p999_latency_us" in text
+        assert "mean_queue_depth" in text
+
+
+class TestReportDepthAndTail:
+    def test_snapshot_has_mean_depth_and_p999(self):
+        report = _fpga_deployment(qps=500_000.0).run_open_loop(
+            duration_ms=0.2)
+        snapshot = report.snapshot()
+        assert "mean_queue_depth" in snapshot
+        assert "p999_latency_us" in snapshot
+        assert snapshot["p999_latency_us"] >= \
+            snapshot["p99_latency_us"]
+
+    def test_mean_depth_sits_below_max_under_load(self):
+        dep = _fpga_deployment(qps=8_000_000.0, capacity=16)
+        report = dep.run_open_loop(duration_ms=0.5)
+        mean = report.mean_queue_depth()
+        assert 0.0 < mean < report.max_queue_depth()
+
+    def test_mean_depth_is_arrival_weighted(self):
+        """Direct check on the definition: depth samples are taken at
+        each arrival, so the mean is sum(samples)/arrivals."""
+        report = _fpga_deployment(
+            qps=8_000_000.0, capacity=16).run_open_loop(duration_ms=0.3)
+        samples = sum(server.depth_samples
+                      for server in report.servers)
+        arrivals = sum(server.arrivals for server in report.servers)
+        assert report.mean_queue_depth() == \
+            pytest.approx(samples / arrivals)
+
+    def test_idle_run_mean_depth_zero(self):
+        report = _fpga_deployment(qps=100_000.0).run_open_loop(
+            duration_ms=0.1)
+        assert report.mean_queue_depth() == 0.0
