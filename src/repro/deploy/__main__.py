@@ -31,6 +31,11 @@ def _parser():
     parser.add_argument("--opt", type=int, default=None,
                         help="Kiwi opt level for compiled-kernel cycle "
                              "counting (0, 1 or 2)")
+    parser.add_argument("--batch", type=int, default=None,
+                        help="lockstep batch width for the compiled "
+                             "engine (cycle models run N requests per "
+                             "dispatch; open-loop servers drain their "
+                             "queue in batches)")
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--requests", type=int, default=256)
     parser.add_argument("--arrivals", default=None,
@@ -109,6 +114,8 @@ def main(argv=None):
     dep.with_seed(args.seed)
     if args.opt is not None:
         dep.with_opt(args.opt)
+    if args.batch is not None:
+        dep.with_batch(args.batch)
     if args.arrivals is not None:
         dep.with_arrivals(args.arrivals, qps=args.qps,
                           capacity=args.capacity)

@@ -206,6 +206,14 @@ class Backend:
         emitted, latency_ns = self.send(frame)
         return emitted, 0.0, float(latency_ns or 0.0)
 
+    def open_loop_profile_batch(self, frames):
+        """Batched :meth:`open_loop_profile` — one ``(emitted,
+        service_ns, overhead_ns)`` per frame, in order.  Default: the
+        per-frame loop; backends whose target has a native lockstep
+        burst path (fpga) override it.
+        """
+        return [self.open_loop_profile(frame) for frame in frames]
+
     def _profile_via(self, fpga_target, send):
         """Shared fpga-shaped profile: *send* runs the request, the
         occupancy comes from the target's recorded service time."""
@@ -250,6 +258,14 @@ class Backend:
             return None
         return self._effective_opt(self.spec.build())
 
+    def _effective_batch(self):
+        """The lockstep batch width compiled cycle models are built
+        with — only meaningful when an opt level is honoured (without
+        one there is no compiled kernel to batch)."""
+        if self.effective_opt is None:
+            return None
+        return self.config.batch
+
 
 @register_backend("cpu")
 class CpuBackend(Backend):
@@ -283,17 +299,39 @@ class FpgaBackend(Backend):
         self.target = FpgaTarget(service,
                                  num_ports=self.config.get("ports", 4),
                                  seed=self.config.seed,
-                                 opt_level=self.effective_opt)
+                                 opt_level=self.effective_opt,
+                                 batch=self._effective_batch())
         return self
 
     def send(self, frame):
         self._require_started()
         return self.target.send(frame)
 
+    def send_batch(self, frames):
+        self._require_started()
+        return self.target.send_batch(frames)
+
     def open_loop_profile(self, frame):
         self._require_started()
         return self._profile_via(self.target,
                                  lambda: self.target.send(frame))
+
+    def open_loop_profile_batch(self, frames):
+        """Native burst profile: the target measures the whole batch's
+        core cycles in one lockstep run; the per-frame statistics are
+        identical to the scalar path (see FpgaTarget.send_batch)."""
+        self._require_started()
+        target = self.target
+        before = len(target.service_times_ns)
+        outcomes = target.send_batch(frames)
+        service_times = target.service_times_ns[before:]
+        results = []
+        for (emitted, latency_ns), service_ns in zip(outcomes,
+                                                     service_times):
+            overhead_ns = 0.0 if latency_ns is None \
+                else max(0.0, latency_ns - service_ns)
+            results.append((emitted, service_ns, overhead_ns))
+        return results
 
     def _fpga_targets(self):
         return [self.target] if self.target else []
@@ -330,7 +368,8 @@ class MultiCoreBackend(Backend):
             num_cores=self.config.get("cores", 4),
             seed=self.config.seed,
             is_write=self.config.get("is_write", self.spec.is_write),
-            opt_level=self.effective_opt)
+            opt_level=self.effective_opt,
+            batch=self._effective_batch())
         self._pending_cycles = []
         return self
 
@@ -412,7 +451,8 @@ class ClusterBackend(Backend):
             vnodes=config.get("vnodes", DEFAULT_VNODES),
             seed=config.seed,
             suspect_after=config.get("suspect_after", 3),
-            opt_level=self.effective_opt)
+            opt_level=self.effective_opt,
+            batch=self._effective_batch())
         return self
 
     def send(self, frame):

@@ -35,11 +35,12 @@ class DeploymentConfig:
     """Resolved configuration handed to the backend adapter."""
 
     def __init__(self, seed=1, opt_level=None, fault_plan=None,
-                 backend_kwargs=None):
+                 backend_kwargs=None, batch=None):
         self.seed = seed
         self.opt_level = opt_level
         self.fault_plan = fault_plan
         self.backend_kwargs = dict(backend_kwargs or {})
+        self.batch = batch
 
     def get(self, key, default=None):
         return self.backend_kwargs.get(key, default)
@@ -53,6 +54,7 @@ class Deployment:
         self._backend_name = "cpu"
         self._backend_kwargs = {}
         self._opt_level = None
+        self._batch = None
         self._seed = 1
         self._fault_plan = None
         self._arrivals = None
@@ -99,6 +101,24 @@ class Deployment:
             raise TargetError("opt_level must be one of %r"
                               % (VALID_OPT_LEVELS,))
         self._opt_level = opt_level
+        return self
+
+    def with_batch(self, batch):
+        """Lockstep batch width N for the compiled engine: the
+        backend's cycle models run up to N requests per dispatch
+        through the SoA engine (:mod:`repro.engine.batch`), and
+        :meth:`run_open_loop` servers drain their ingest queue up to N
+        requests at a time.  Per-request cycle counts, replies, and
+        queue/drop behaviour are identical to scalar execution — only
+        the wall clock changes.  Needs :meth:`with_opt` to affect
+        cycle measurement (without a compiled kernel only the
+        open-loop drain is batched)."""
+        self._require_not_started()
+        if batch is not None:
+            batch = int(batch)
+            if batch < 1:
+                raise TargetError("batch must be >= 1 (or None)")
+        self._batch = batch
         return self
 
     def with_seed(self, seed):
@@ -172,7 +192,8 @@ class Deployment:
         config = DeploymentConfig(seed=self._seed,
                                   opt_level=self._opt_level,
                                   fault_plan=self._fault_plan,
-                                  backend_kwargs=self._backend_kwargs)
+                                  backend_kwargs=self._backend_kwargs,
+                                  batch=self._batch)
         backend_cls = resolve_backend(self._backend_name)
         self.backend = backend_cls(self.spec, config)
         self.backend.start()
@@ -289,7 +310,7 @@ class Deployment:
         self.open_loop = run_open_loop(
             self.backend, self._arrivals, frames, duration_ns,
             seed=seed, tracer=self.tracer, series=series,
-            injector=self.injector)
+            injector=self.injector, batch=self._batch)
         return self.open_loop
 
     def kernel_profile(self):
@@ -331,6 +352,8 @@ class Deployment:
              if fault_plan is not None else "none"],
             ["state", "started" if self.started else "configured"],
         ]
+        if self._batch is not None:
+            rows.insert(4, ["batch", "%d-wide lockstep" % self._batch])
         policy = self._backend_kwargs.get("policy")
         if policy is not None:
             rows.insert(3, ["policy", type(policy).__name__])

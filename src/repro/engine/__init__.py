@@ -9,9 +9,14 @@ allows):
   Python closures — one step function per FSM state, expression DAGs
   flattened to straight-line locals, memories as preallocated lists —
   replacing per-cycle netlist interpretation on the hot path.
-  :mod:`repro.engine.verify` proves the compiled kernel equivalent to
-  the interpreted :class:`~repro.rtl.simulator.Simulator` on random
-  inputs (results, final memories, and same-level cycle counts).
+  :mod:`repro.engine.batch` raises that to lockstep structure-of-arrays
+  execution: N requests advance through fused superblocks per dispatch
+  (``compile_kernel(fn, batch=N)``), with per-lane early exits and
+  loop-invariant hoisting.  :mod:`repro.engine.verify` proves the
+  compiled kernel equivalent to the interpreted
+  :class:`~repro.rtl.simulator.Simulator` on random inputs (results,
+  final memories, and same-level cycle counts), and the batched engine
+  equivalent to both on warm job streams.
 * :mod:`repro.engine.sched` is the one discrete-event scheduler every
   layer now shares (the netsim event loop subclasses it), with
   processes and bounded back-pressure queues;
@@ -19,6 +24,7 @@ allows):
   open-loop arrivals so latency distributions are queueing-derived.
 """
 
+from repro.engine.batch import BatchedKernel, compile_design_batched
 from repro.engine.compiler import (
     CompiledKernel, compile_design, compile_kernel,
 )
@@ -27,12 +33,16 @@ from repro.engine.openloop import (
 )
 from repro.engine.sched import Delay, Process, Queue, Scheduler
 from repro.engine.verify import (
-    EngineReport, assert_engine_equivalent, engine_differential_check,
+    BatchReport, EngineReport, assert_batch_equivalent,
+    assert_engine_equivalent, batch_differential_check,
+    engine_differential_check,
 )
 
 __all__ = [
-    "ArrivalSpec", "CompiledKernel", "Delay", "EngineReport",
-    "OpenLoopReport", "Process", "Queue", "Scheduler",
-    "assert_engine_equivalent", "compile_design", "compile_kernel",
+    "ArrivalSpec", "BatchReport", "BatchedKernel", "CompiledKernel",
+    "Delay", "EngineReport", "OpenLoopReport", "Process", "Queue",
+    "Scheduler", "assert_batch_equivalent", "assert_engine_equivalent",
+    "batch_differential_check", "compile_design",
+    "compile_design_batched", "compile_kernel",
     "engine_differential_check", "run_open_loop",
 ]

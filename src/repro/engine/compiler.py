@@ -405,17 +405,29 @@ class CompiledKernel:
         return results, latency, self
 
 
-def compile_design(design):
-    """Compile a :class:`CompiledDesign` into a :class:`CompiledKernel`."""
-    return CompiledKernel(design)
+def compile_design(design, batch=None):
+    """Compile a :class:`CompiledDesign` into a :class:`CompiledKernel`.
+
+    With *batch* set to an int N, returns a
+    :class:`~repro.engine.batch.BatchedKernel` instead — the lockstep
+    structure-of-arrays compiler that executes up to N requests per
+    dispatch (``run_batch``) while keeping the full scalar ``run``
+    surface.
+    """
+    if batch is None:
+        return CompiledKernel(design)
+    from repro.engine.batch import BatchedKernel
+    return BatchedKernel(design, batch=batch)
 
 
-def compile_kernel(fn, opt_level=0, name=None, level_budget=None):
+def compile_kernel(fn, opt_level=0, name=None, level_budget=None,
+                   batch=None):
     """Front-to-back: Kiwi-compile *fn* at *opt_level*, then compile the
-    resulting (possibly optimized) FSM for the engine."""
+    resulting (possibly optimized) FSM for the engine.  *batch* selects
+    the lockstep SoA engine (see :func:`compile_design`)."""
     from repro.kiwi.compiler import DEFAULT_LEVEL_BUDGET, compile_function
     design = compile_function(
         fn, name=name, opt_level=opt_level,
         level_budget=DEFAULT_LEVEL_BUDGET if level_budget is None
         else level_budget)
-    return CompiledKernel(design)
+    return compile_design(design, batch=batch)

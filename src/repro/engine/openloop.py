@@ -109,6 +109,7 @@ class OpenLoopReport:
         self.latencies_ns = []
         self.servers = [ServerStats(index) for index in range(num_servers)]
         self.finished_ns = 0
+        self._sorted_latencies = None     # percentile cache
 
     # -- derived ------------------------------------------------------------
 
@@ -140,8 +141,14 @@ class OpenLoopReport:
         # Linear interpolation between neighbouring order statistics —
         # no nearest-rank snapping (see obs.metrics; the Histogram
         # instrument applies the same rule between bucket bounds).
-        return interpolate_percentile(sorted(self.latencies_ns),
-                                      fraction)
+        # The sort is cached: snapshot()/text() ask for four-plus
+        # percentiles per report, and latencies_ns is append-only, so
+        # a length check is a sufficient invalidation.
+        cached = self._sorted_latencies
+        if cached is None or len(cached) != len(self.latencies_ns):
+            cached = sorted(self.latencies_ns)
+            self._sorted_latencies = cached
+        return interpolate_percentile(cached, fraction)
 
     def p50_latency_us(self):
         value = self._percentile_ns(0.50)
@@ -225,7 +232,7 @@ class OpenLoopReport:
 
 
 def run_open_loop(backend, spec, frames, duration_ns, seed=1,
-                  tracer=None, series=None, injector=None):
+                  tracer=None, series=None, injector=None, batch=None):
     """Drive *frames* at *spec*'s arrival process through *backend*.
 
     *frames* is a frame list or a factory ``count -> frames`` (the
@@ -237,6 +244,16 @@ def run_open_loop(backend, spec, frames, duration_ns, seed=1,
     for the request's ``service_ns``; the recorded latency is waiting
     time + service time + the backend's constant overhead.  Returns an
     :class:`OpenLoopReport`.
+
+    *batch* (an int N) switches the servers to batched draining: a
+    server about to service an unprofiled request peeks at up to N-1
+    requests waiting behind it and profiles the whole group through
+    ``backend.open_loop_profile_batch`` in one call (the fpga backend
+    runs the group through the lockstep SoA engine).  Requests still
+    leave the queue one at a time and are serviced in order, so
+    admission, tail-drops, queue depths, and every latency are
+    identical to the scalar run — per-server request order is
+    preserved, only the profiling wall clock changes.
 
     Observability (all optional, zero-cost when ``None``):
 
@@ -251,11 +268,32 @@ def run_open_loop(backend, spec, frames, duration_ns, seed=1,
       pending events; they are armed on this scheduler, so plan times
       are virtual nanoseconds on the same axis as the spans.
     """
+    if batch is not None:
+        batch = int(batch)
+        if batch < 1:
+            raise EngineError("batch must be >= 1 (or None)")
     scheduler = Scheduler()
     num_servers, route = backend.open_loop_servers()
     report = OpenLoopReport(spec, duration_ns, num_servers)
     queues = [Queue(capacity=spec.capacity, scheduler=scheduler)
               for _ in range(num_servers)]
+    profiled = [{} for _ in range(num_servers)] if batch else None
+
+    def batched_profile(index, queue, seq, frame):
+        """Profile *frame* together with up to batch-1 requests waiting
+        behind it, caching the group's outcomes for their later pops
+        (per-server FIFO order, so the engine sees the same request
+        sequence the scalar path would)."""
+        cache = profiled[index]
+        if seq not in cache:
+            group = [(seq, frame)]
+            for _, member_seq, member_frame, _ in queue.peek(batch - 1):
+                group.append((member_seq, member_frame))
+            outcomes = backend.open_loop_profile_batch(
+                [member for _, member in group])
+            for (member_seq, _), outcome in zip(group, outcomes):
+                cache[member_seq] = outcome
+        return cache.pop(seq)
 
     detail_of = None
     if tracer is not None:
@@ -273,8 +311,14 @@ def run_open_loop(backend, spec, frames, duration_ns, seed=1,
 
     def server(index, queue, stats):
         while True:
-            arrival_ns, service_ns, overhead_ns, emitted, detail = \
-                yield queue.get()
+            item = yield queue.get()
+            if batch:
+                arrival_ns, seq, frame, detail = item
+                emitted, service_ns, overhead_ns = \
+                    batched_profile(index, queue, seq, frame)
+            else:
+                arrival_ns, service_ns, overhead_ns, emitted, detail = \
+                    item
             dispatch_ns = scheduler.now_ns
             if service_ns > 0:
                 yield Delay(service_ns)
@@ -345,6 +389,11 @@ def run_open_loop(backend, spec, frames, duration_ns, seed=1,
             detail = {"seq": report.offered - 1}
             if detail_of is not None:
                 detail.update(detail_of(frame))
+        if batch:
+            report.admitted += 1
+            queue.try_put((scheduler.now_ns, report.admitted - 1,
+                           frame, detail))
+            return
         emitted, service_ns, overhead_ns = \
             backend.open_loop_profile(frame)
         report.admitted += 1

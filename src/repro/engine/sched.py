@@ -229,6 +229,14 @@ class Queue:
             self._service()
         return True, item
 
+    def peek(self, limit=None):
+        """The oldest *limit* waiting items (all when ``None``) without
+        removing them — batched consumers look ahead at what they are
+        about to drain while the items keep occupying their slots."""
+        if limit is None:
+            return list(self._items)
+        return list(itertools.islice(self._items, max(0, limit)))
+
     # -- internals ----------------------------------------------------------
 
     def _bind(self, scheduler):

@@ -129,6 +129,174 @@ def engine_differential_check(fn, opt_level=0, base_level=None, runs=12,
     return report
 
 
+class BatchReport:
+    """Outcome of one batch-differential session (three legs: lockstep
+    batched engine, scalar engine, interpreted netlist)."""
+
+    def __init__(self, name, opt_level, batch):
+        self.name = name
+        self.opt_level = opt_level
+        self.batch = batch
+        self.batches = 0
+        self.runs = 0
+        self.skipped = 0
+        self.mismatches = []
+        #: Batches the SoA engine actually ran in lockstep (vs its
+        #: scalar fallback) — callers assert this is > 0 so the check
+        #: cannot silently pass by never engaging the batched code.
+        self.lockstep_batches = 0
+        self.fallback_batches = 0
+
+    @property
+    def ok(self):
+        return not self.mismatches and self.runs > 0
+
+    def __repr__(self):
+        return ("BatchReport(%s: batch=%d at -O%d, %d batches / %d "
+                "runs, %d lockstep, %d mismatches)"
+                % (self.name, self.batch, self.opt_level, self.batches,
+                   self.runs, self.lockstep_batches,
+                   len(self.mismatches)))
+
+
+def batch_differential_check(fn, opt_level=0, batch=8, batches=8,
+                             seed="engine-batch", max_cycles=200000,
+                             input_factory=None, deep_inputs=None):
+    """Three-legged warm-stream differential proof for the lockstep
+    SoA engine (:mod:`repro.engine.batch`).
+
+    The same job stream runs through the batched engine (*batch* jobs
+    per ``run_batch`` call, ragged final batch included), the scalar
+    engine, and the warm interpreted netlist.  None of the legs reset
+    between jobs, so the comparison covers warm-state parity across
+    successive batches as well as per-lane results, per-lane cycle
+    counts, and the final memory images after every batch.
+
+    Even-numbered batches load every memory with a fresh full image
+    (the lockstep-capable shape); odd-numbered batches load only a
+    random subset of memories per job, leaving the rest warm — that
+    shape exercises the engine's scalar-fallback path and warm-memory
+    carry-over.  *deep_inputs* (a list of ``(scalars, memories)``
+    jobs) is prepended to the random stream for crafted deep request
+    paths; *input_factory(rng)* overrides the random generator.
+    """
+    from repro.engine.compiler import compile_kernel
+    from repro.kiwi.compiler import compile_function
+    reference = compile_function(fn, opt_level=opt_level)
+    scalar = compile_kernel(fn, opt_level=opt_level)
+    batched = compile_kernel(fn, opt_level=opt_level, batch=batch)
+    report = BatchReport(reference.name, opt_level, batch)
+    rng = random.Random("%s/%s" % (seed, reference.name))
+    make_inputs = input_factory or \
+        (lambda r: random_inputs(reference.spec, r))
+    mem_names = [name for name, _ in reference.spec.memory_params]
+
+    jobs = list(deep_inputs or [])
+    while len(jobs) < batches * batch:
+        jobs.append(make_inputs(rng))
+    # A ragged final batch: drop a few jobs so the last run_batch call
+    # is narrower than the configured width.
+    if batch > 1 and len(jobs) > batch + 1:
+        jobs = jobs[:len(jobs) - rng.randrange(1, batch)]
+
+    sim = reference.simulator()
+
+    def reset_legs():
+        scalar.reset()
+        batched.reset()
+        return reference.simulator()
+
+    for start in range(0, len(jobs), batch):
+        chunk = jobs[start:start + batch]
+        narrow = start // batch % 2 == 1
+        prepared = []
+        for scalars, memories in chunk:
+            if narrow and len(mem_names) > 1:
+                keep = [name for name in mem_names
+                        if name in memories and rng.random() < 0.6]
+                memories = {name: memories[name] for name in keep}
+            prepared.append((scalars, memories))
+        try:
+            interp = []
+            for scalars, memories in prepared:
+                results, cycles, _ = reference.run_on(
+                    sim, max_cycles=max_cycles,
+                    memories={name: list(image)
+                              for name, image in memories.items()},
+                    **scalars)
+                interp.append((results, cycles))
+        except CompileError:
+            report.skipped += len(chunk)
+            sim = reset_legs()
+            continue
+        except EngineError:
+            # Interpreter timeout: skip the batch on every leg so the
+            # warm streams stay aligned.
+            report.skipped += len(chunk)
+            sim = reset_legs()
+            continue
+        try:
+            scalar_out = []
+            for scalars, memories in prepared:
+                results, cycles, _ = scalar.run(
+                    max_cycles=max_cycles,
+                    memories={name: list(image)
+                              for name, image in memories.items()},
+                    **scalars)
+                scalar_out.append((results, cycles))
+            batch_out = batched.run_batch(
+                [(scalars, memories) for scalars, memories in prepared],
+                max_cycles=max_cycles)
+        except EngineError:
+            report.mismatches.append(EngineMismatch(
+                "batch@%d" % start, interp, "timeout", "timeout"))
+            sim = reset_legs()
+            continue
+        report.batches += 1
+        report.runs += len(chunk)
+        if batch_out != interp:
+            report.mismatches.append(EngineMismatch(
+                "batch@%d" % start, interp, batch_out,
+                "batched-vs-interpreter"))
+        if batch_out != scalar_out:
+            report.mismatches.append(EngineMismatch(
+                "batch@%d" % start, scalar_out, batch_out,
+                "batched-vs-scalar"))
+        for name, mem in reference.spec.memory_params:
+            batched_image = batched.memory_image(name)
+            if batched_image != scalar.memory_image(name):
+                report.mismatches.append(EngineMismatch(
+                    "batch@%d" % start, "(memories)", name,
+                    "warm-memories-vs-scalar"))
+                break
+            interp_image = [sim.peek_memory(name, addr)
+                            for addr in range(mem.depth)]
+            if batched_image != interp_image:
+                report.mismatches.append(EngineMismatch(
+                    "batch@%d" % start, "(memories)", name,
+                    "warm-memories-vs-interpreter"))
+                break
+    report.lockstep_batches = batched.lockstep_batches
+    report.fallback_batches = batched.fallback_batches
+    return report
+
+
+def assert_batch_equivalent(fn, opt_level=0, batch=8, **kwargs):
+    """Raise :class:`~repro.errors.EngineError` unless the batched
+    engine matches the scalar engine and the interpreter on a warm
+    job stream; returns the report otherwise."""
+    report = batch_differential_check(fn, opt_level=opt_level,
+                                      batch=batch, **kwargs)
+    if not report.ok:
+        detail = report.mismatches[0] if report.mismatches else \
+            "no comparable runs"
+        raise EngineError(
+            "batched-engine verification failed for %r at -O%d "
+            "(batch=%d): %r"
+            % (report.name, opt_level, batch, detail))
+    return report
+
+
 def assert_engine_equivalent(fn, opt_level=0, **kwargs):
     """Raise :class:`~repro.errors.EngineError` unless the engine
     matches the interpreter; returns the report otherwise."""

@@ -88,9 +88,11 @@ class FpgaTarget:
     compare optimized against unoptimized cycles per request.
     """
 
-    def __init__(self, service, num_ports=4, seed=1, opt_level=None):
+    def __init__(self, service, num_ports=4, seed=1, opt_level=None,
+                 batch=None):
         self.service = service
         self.opt_level = opt_level
+        self.batch = batch
         cycle_model = None
         if opt_level is not None:
             factory = getattr(service, "kernel_cycle_model", None)
@@ -99,7 +101,8 @@ class FpgaTarget:
                     "service %r has no compiled-kernel cycle model; "
                     "cannot honour opt_level=%r"
                     % (getattr(service, "name", service), opt_level))
-            cycle_model = factory(opt_level)
+            cycle_model = factory(opt_level) if batch is None \
+                else factory(opt_level, batch=batch)
         self.pipeline = NetfpgaPipeline(service, num_ports,
                                         cycle_model=cycle_model)
         self.timing = FpgaTimingModel(seed)
@@ -136,6 +139,46 @@ class FpgaTarget:
     def send(self, frame):
         """One request through the DUT; returns (emitted, latency_ns)."""
         emitted, core_cycles = self.pipeline.process_frame(frame)
+        return self._finish(frame, emitted, core_cycles)
+
+    def send_batch(self, frames):
+        """A burst of requests through the DUT.
+
+        Returns one ``(emitted, latency_ns)`` per frame, identical to
+        calling :meth:`send` frame by frame: admission, arbitration,
+        behavioural fate, statistics, and the arbiter-jitter RNG all
+        advance in frame order.  The only difference is *how* the core
+        cycles are obtained — with a batched cycle model
+        (``batch=N``) the whole burst's admitted frames run through
+        the lockstep SoA engine in one ``cycles_batch`` call.
+        """
+        model = self.pipeline.cycle_model
+        if model is None or getattr(model, "batch", None) is None:
+            return [self.send(frame) for frame in frames]
+        pipeline = self.pipeline
+        frames = list(frames)
+        staged = []
+        for index, frame in enumerate(frames):
+            if pipeline.receive(frame):
+                staged.append((index, pipeline.arbitrate()))
+        cycle_counts = model.cycles_batch(
+            [queued for _, queued in staged])
+        cores = {}
+        for (index, queued), measured in zip(staged, cycle_counts):
+            dataplane, cycles = pipeline.run_core(queued, cycles=measured)
+            cores[index] = (queued, dataplane, cycles)
+        results = []
+        for index, frame in enumerate(frames):
+            if index in cores:
+                queued, dataplane, cycles = cores[index]
+                emitted = pipeline.dispatch(dataplane)
+                results.append(self._finish(queued, emitted, cycles))
+            else:
+                results.append(self._finish(frame, [], 0))
+        return results
+
+    def _finish(self, frame, emitted, core_cycles):
+        """Statistics + timing tail shared by send() and send_batch()."""
         self.core_cycle_counts.append(core_cycles)
         extra_cycles = self._extra_cycles(frame)
         for port, _ in emitted:

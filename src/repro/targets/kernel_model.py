@@ -31,21 +31,27 @@ class KernelCycleModel:
     """
 
     def __init__(self, kernel, opt_level, scalars=None,
-                 frame_param="frame", max_cycles=100000, use_engine=True):
+                 frame_param="frame", max_cycles=100000, use_engine=True,
+                 batch=None):
         self.design = compile_function(kernel, opt_level=opt_level)
         memories = dict(self.design.spec.memory_params)
         if frame_param not in memories:
             raise TargetError(
                 "kernel %r has no %r memory parameter"
                 % (self.design.name, frame_param))
+        if batch is not None and not use_engine:
+            raise TargetError(
+                "batched measurement needs the compiled engine runner "
+                "(use_engine=True)")
         self.frame_param = frame_param
         self.depth = memories[frame_param].depth
         self.scalars = dict(scalars or {})
         self.max_cycles = max_cycles
         self.use_engine = use_engine
+        self.batch = None if batch is None else int(batch)
         if use_engine:
             from repro.engine.compiler import compile_design
-            self._runner = compile_design(self.design)
+            self._runner = compile_design(self.design, batch=batch)
             self.sim = None
         else:
             self.sim = self.design.simulator()
@@ -95,8 +101,7 @@ class KernelCycleModel:
 
     def cycles(self, frame):
         """Measured latency (cycles) of one frame through the kernel."""
-        image = list(frame.data)[:self.depth]
-        image += [0] * (self.depth - len(image))
+        image = self._frame_image(frame)
         if self._runner is not None:
             _, latency, _ = self._runner.run(
                 max_cycles=self.max_cycles,
@@ -108,6 +113,37 @@ class KernelCycleModel:
         self.requests += 1
         self.total_cycles += latency
         return latency
+
+    def _frame_image(self, frame):
+        image = list(frame.data)[:self.depth]
+        image += [0] * (self.depth - len(image))
+        return image
+
+    def cycles_batch(self, frames):
+        """Measured latencies (cycles) of *frames*, in order.
+
+        On a batched runner (``batch=N``) the frames go through the
+        lockstep SoA engine ``batch`` at a time — the per-frame cycle
+        counts and the warm-memory end state are identical to calling
+        :meth:`cycles` frame by frame (the batch differential harness
+        in :mod:`repro.engine.verify` proves it); only the wall clock
+        differs.  Without a batched runner this *is* that loop.
+        """
+        if self.batch is None or self._runner is None:
+            return [self.cycles(frame) for frame in frames]
+        latencies = []
+        frames = list(frames)
+        for start in range(0, len(frames), self.batch):
+            chunk = frames[start:start + self.batch]
+            jobs = [(self.scalars,
+                     {self.frame_param: self._frame_image(frame)})
+                    for frame in chunk]
+            for _, latency in self._runner.run_batch(
+                    jobs, max_cycles=self.max_cycles):
+                latencies.append(latency)
+        self.requests += len(latencies)
+        self.total_cycles += sum(latencies)
+        return latencies
 
     def average_cycles(self):
         return self.total_cycles / self.requests if self.requests else 0.0

@@ -65,16 +65,20 @@ class NetfpgaPipeline:
                 return queue.pop()
         return None
 
-    def run_core(self, frame):
+    def run_core(self, frame, cycles=None):
         """Push one frame through the main logical core.
 
         Returns ``(dataplane, core_cycles)`` — hardware semantics, so
-        the cycle count is measured, not assumed.
+        the cycle count is measured, not assumed.  *cycles* supplies a
+        pre-measured count (the batched FPGA target measures a whole
+        burst in one lockstep run, then replays each frame's
+        behavioural fate here with its already-known cost).
         """
         dataplane = NetFPGAData(frame)
-        dataplane, cycles = self.service.process_counting(dataplane)
-        if self.cycle_model is not None:
-            cycles = self.cycle_model.cycles(frame)
+        dataplane, counted = self.service.process_counting(dataplane)
+        if cycles is None:
+            cycles = counted if self.cycle_model is None \
+                else self.cycle_model.cycles(frame)
         self.core_busy_cycles += cycles
         return dataplane, cycles
 

@@ -178,3 +178,52 @@ class TestReportDepthAndTail:
         report = _fpga_deployment(qps=100_000.0).run_open_loop(
             duration_ms=0.1)
         assert report.mean_queue_depth() == 0.0
+
+
+class TestPercentileCache:
+    """The cached sort in ``_percentile_ns`` must be invisible: same
+    p50/p99/p999 as a fresh sort, on every call, even after more
+    latencies are appended."""
+
+    def _fresh(self, latencies, fraction):
+        from repro.obs.metrics import interpolate_percentile
+        return interpolate_percentile(sorted(latencies), fraction)
+
+    def test_percentiles_unchanged_by_cache(self):
+        from repro.engine.openloop import OpenLoopReport
+        rng = random.Random("%s/pcache" % SEED)
+        report = OpenLoopReport(ArrivalSpec("uniform", qps=1e6),
+                                duration_ns=1000, num_servers=1)
+        report.latencies_ns.extend(rng.randrange(100, 100000)
+                                   for _ in range(499))
+        for fraction, method in [(0.50, report.p50_latency_us),
+                                 (0.99, report.p99_latency_us),
+                                 (0.999, report.p999_latency_us)]:
+            expected = self._fresh(report.latencies_ns, fraction) / 1000.0
+            assert method() == expected
+            assert method() == expected      # second call hits the cache
+        # Appending invalidates: the next call re-sorts and shifts.
+        report.latencies_ns.extend([1, 10**9])
+        for fraction, method in [(0.50, report.p50_latency_us),
+                                 (0.99, report.p99_latency_us),
+                                 (0.999, report.p999_latency_us)]:
+            assert method() == \
+                self._fresh(report.latencies_ns, fraction) / 1000.0
+
+    def test_cache_reused_between_calls(self):
+        from repro.engine.openloop import OpenLoopReport
+        report = OpenLoopReport(ArrivalSpec("uniform", qps=1e6),
+                                duration_ns=1000, num_servers=1)
+        report.latencies_ns.extend([300, 100, 200])
+        report.p50_latency_us()
+        first = report._sorted_latencies
+        assert first == [100, 200, 300]
+        report.p99_latency_us()
+        assert report._sorted_latencies is first
+
+    def test_empty_report_percentiles_are_none(self):
+        from repro.engine.openloop import OpenLoopReport
+        report = OpenLoopReport(ArrivalSpec("uniform", qps=1e6),
+                                duration_ns=1000, num_servers=1)
+        assert report.p50_latency_us() is None
+        assert report.p999_latency_us() is None
