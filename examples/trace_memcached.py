@@ -1,31 +1,51 @@
 """Tracing an open-loop memcached cluster through a mid-run fault.
 
-One seeded run, three synchronized views of the same virtual clock:
+One seeded run, five synchronized views of the same virtual clock:
 
 1. a Chrome trace (``trace_memcached.json``) — per-request spans
    (admit -> queue -> shard hop -> reply) on per-shard tracks, with
    instant markers for the fault injection, each timed-out probe the
-   miss-count detector charges, the eviction, and the rejoin.  Open it
-   at https://ui.perfetto.dev (or chrome://tracing) and the outage is
-   a visible hole in shard1's track bracketed by the markers;
-2. a time-series TSV (``trace_memcached.tsv``) — 100 us windows of
+   miss-count detector charges, the eviction, the rejoin — and now the
+   SLO alerts, so the burn-rate fire/resolve markers sit on the same
+   Perfetto timeline as the fault that caused them;
+2. a time-series TSV (``trace_memcached.tsv``) — 20 us windows of
    qps / reply qps / p50 / p99 / queue depths.  The reply-rate dip and
    the service-drop burst land exactly in the windows the fault spans;
-3. the run report — cumulative totals with tail percentiles.
+3. the SLO verdict (``trace_memcached_alerts.json`` + ``.tsv``) — an
+   availability objective judged window by window: the page-severity
+   burn-rate alert fires *inside* the fault window and resolves only
+   after the outage has aged out of its fast lookback, past the
+   rejoin;
+4. the trace analytics — p50-vs-p99 tail attribution that names the
+   evicted shard as where the tail went;
+5. the run report — cumulative totals with tail percentiles.
 
 Everything is derived from the deterministic event scheduler, so
-re-running this script reproduces both files byte for byte.
+re-running this script reproduces every file byte for byte — the
+assertions at the bottom are the chaos-drill acceptance test CI runs.
 
 Run:  python examples/trace_memcached.py
 """
 
 from repro.deploy import deploy
 from repro.netsim import FaultPlan
+from repro.obs import SloSpec
 
 KILL_NS = 200_000       # t = 0.2 ms: shard1 goes dark
 RESTORE_NS = 400_000    # t = 0.4 ms: shard1 comes back
 TRACE_PATH = "trace_memcached.json"
 SERIES_PATH = "trace_memcached.tsv"
+ALERTS_PATH = "trace_memcached_alerts.json"
+
+#: 20 us windows over a 0.6 ms run = 30 closed windows — enough for
+#: multi-window burn rates.  The page rule's 10-window fast lookback
+#: is the resolve clock: the outage windows age out of it only after
+#: the rejoin, so the alert brackets the whole incident.
+WINDOW_US = 20.0
+SLO = (SloSpec("memcached-chaos", window_us=WINDOW_US)
+       .availability(0.99)
+       .rule("ticket", 2.0, 3, 5)
+       .rule("page", 2.0, 10, 10))
 
 
 def main():
@@ -37,13 +57,16 @@ def main():
            .with_arrivals("poisson", qps=2_000_000.0)
            .with_faults(plan)
            .with_trace()
-           .with_timeseries(window_us=100.0)
+           .with_timeseries(window_us=WINDOW_US)
+           .with_slo(SLO)
            .start())
     report = dep.run_open_loop(duration_ms=0.6)
 
     dep.tracer.write_json(TRACE_PATH)
     with open(SERIES_PATH, "w") as handle:
         handle.write(dep.timeseries.to_tsv())
+    dep.alert_log.write_json(ALERTS_PATH)
+    dep.alert_log.write_tsv(ALERTS_PATH + ".tsv")
 
     print(report.text())
     print()
@@ -72,10 +95,47 @@ def main():
               % (row.start_ns / 1e3, row.end_ns / 1e3,
                  row.reply_qps / 1e6, row.drops, marker))
     print()
+
+    # The judge's view: burn-rate alerts over the same windows.
+    print(dep.slo.text())
+    print()
+
+    # The analyst's view: where the tail latency went.
+    analysis = dep.analysis()
+    tail = analysis.tail()
+    print(analysis.text())
+    print()
+
     print("trace: %s (%d events) -- load it at https://ui.perfetto.dev"
           % (TRACE_PATH, len(dep.tracer.to_chrome()["traceEvents"])))
     print("time-series: %s (%d windows)"
           % (SERIES_PATH, len(dep.timeseries)))
+    print("alert log: %s (%d events)"
+          % (ALERTS_PATH, len(dep.alert_log)))
+
+    # -- chaos-drill acceptance: the detector loop, end to end --------
+    pages = dep.alert_log.find(severity="page")
+    fired = [event for event in pages
+             if event["kind"] in ("fire", "escalate")]
+    resolved = dep.alert_log.find(kind="resolve", severity="page")
+    assert fired, "page alert never fired"
+    assert resolved, "page alert never resolved"
+    assert kill["ts"] <= fired[0]["t_ns"] <= rejoin["ts"], \
+        "page alert fired outside the fault window (t=%d)" \
+        % fired[0]["t_ns"]
+    assert resolved[0]["t_ns"] > rejoin["ts"], \
+        "page alert resolved before the rejoin (t=%d)" \
+        % resolved[0]["t_ns"]
+    assert not dep.slo.active_alerts, "alerts still active at run end"
+    assert tail["attributed_server"] == "shard1", \
+        "tail attributed to %r, not the evicted shard" \
+        % tail["attributed_server"]
+    print()
+    print("chaos drill passed: page fired at %d ns (inside the fault "
+          "window), resolved at %d ns (after the rejoin), tail "
+          "attributed to %s %s"
+          % (fired[0]["t_ns"], resolved[0]["t_ns"],
+             tail["attributed_phase"], tail["attributed_server"]))
     dep.stop()
 
 

@@ -16,6 +16,7 @@ import sys
 from repro.deploy.builder import deploy
 from repro.deploy.conformance import run_matrix
 from repro.harness.report import render_table
+from repro.obs.slo import SloSpec
 from repro.services.catalog import registry
 
 
@@ -62,6 +63,27 @@ def _parser():
     parser.add_argument("--window-us", type=float, default=100.0,
                         help="time-series window length "
                              "(with --timeseries)")
+    parser.add_argument("--slo", metavar="SPEC", default=None,
+                        help="judge the open-loop run against an SLO "
+                             "spec: comma-separated objectives "
+                             "'p99<=200us,errors<=0.01,"
+                             "availability>=0.999' (with --arrivals); "
+                             "prints the burn-rate verdict and alert "
+                             "timeline")
+    parser.add_argument("--slo-rule", metavar="SEV:BURN:FAST/SLOW",
+                        action="append", default=None,
+                        help="replace the default burn rules, e.g. "
+                             "'page:14.4:5/60' (repeatable; "
+                             "with --slo)")
+    parser.add_argument("--alerts", metavar="PATH", default=None,
+                        help="write the run's alert log as "
+                             "deterministic JSON to PATH, and TSV to "
+                             "PATH.tsv (with --slo)")
+    parser.add_argument("--analyze", action="store_true",
+                        help="print post-run trace analytics: "
+                             "critical-path decomposition and "
+                             "p50-vs-p99 tail attribution (implies "
+                             "--trace recording; with --arrivals)")
     parser.add_argument("--profile", action="store_true",
                         help="attribute kernel cycles per FSM state "
                              "and print the hotspot table "
@@ -84,6 +106,46 @@ def _list_services():
             for name, spec in sorted(specs.items())]
     return render_table(["Service", "Backends", "Description"], rows,
                         title="Registered services")
+
+
+def _parse_slo(text, rule_args, window_us):
+    """Build an :class:`SloSpec` from the CLI's declarative strings
+    (``p99<=200us,errors<=0.01,availability>=0.999`` plus optional
+    ``sev:burn:fast/slow`` rule overrides); raises ``ValueError`` with
+    a usable message on malformed input."""
+    spec = SloSpec("cli-slo", window_us=window_us)
+    for part in text.split(","):
+        part = part.strip()
+        for separator in ("<=", ">=", "="):
+            if separator in part:
+                key, _, value = part.partition(separator)
+                break
+        else:
+            raise ValueError("objective %r has no threshold "
+                             "(want key<=value)" % (part,))
+        key = key.strip().lower()
+        value = value.strip().lower()
+        if key in ("p99", "latency_p99", "p99_us"):
+            if value.endswith("us"):
+                value = value[:-2]
+            spec.latency_p99(float(value))
+        elif key in ("errors", "error_ratio", "drops"):
+            spec.error_ratio(float(value))
+        elif key in ("availability", "avail"):
+            spec.availability(float(value))
+        else:
+            raise ValueError(
+                "unknown objective %r (have: p99, errors, "
+                "availability)" % (key,))
+    for rule in rule_args or []:
+        try:
+            severity, burn, windows = rule.split(":")
+            fast, slow = windows.split("/")
+        except ValueError:
+            raise ValueError("rule %r is not SEV:BURN:FAST/SLOW"
+                             % (rule,))
+        spec.rule(severity.strip(), float(burn), int(fast), int(slow))
+    return spec
 
 
 def _backend_kwargs(args):
@@ -119,7 +181,7 @@ def main(argv=None):
     if args.arrivals is not None:
         dep.with_arrivals(args.arrivals, qps=args.qps,
                           capacity=args.capacity)
-    if args.trace is not None:
+    if args.trace is not None or args.analyze:
         dep.with_trace()
     if args.timeseries is not None:
         if args.arrivals is None:
@@ -127,6 +189,25 @@ def main(argv=None):
                   "open-loop run)", file=sys.stderr)
             return 2
         dep.with_timeseries(window_us=args.window_us)
+    if args.alerts is not None and args.slo is None:
+        print("--alerts needs --slo (it exports the alert log)",
+              file=sys.stderr)
+        return 2
+    if args.analyze and args.arrivals is None:
+        print("--analyze needs --arrivals (it decomposes the "
+              "open-loop trace)", file=sys.stderr)
+        return 2
+    if args.slo is not None:
+        if args.arrivals is None:
+            print("--slo needs --arrivals (objectives stream over "
+                  "the open-loop windows)", file=sys.stderr)
+            return 2
+        try:
+            spec = _parse_slo(args.slo, args.slo_rule, args.window_us)
+        except ValueError as error:
+            print("bad --slo/--slo-rule: %s" % error, file=sys.stderr)
+            return 2
+        dep.with_slo(spec)
     if args.profile:
         if args.opt is None:
             print("--profile needs --opt (per-state attribution runs "
@@ -140,6 +221,12 @@ def main(argv=None):
     if args.arrivals is not None:
         report = dep.run_open_loop(duration_ms=args.duration_ms)
         print(report.text())
+        if dep.slo is not None:
+            print()
+            print(dep.slo.text())
+        if args.analyze:
+            print()
+            print(dep.analysis().text())
         _finish_obs(dep, args)
         dep.stop()
         return 0
@@ -179,6 +266,11 @@ def _finish_obs(dep, args):
         dep.timeseries.write_tsv(args.timeseries)
         print("time-series: %d window(s) -> %s"
               % (len(dep.timeseries), args.timeseries))
+    if args.alerts is not None and dep.alert_log is not None:
+        dep.alert_log.write_json(args.alerts)
+        dep.alert_log.write_tsv(args.alerts + ".tsv")
+        print("alert log: %d event(s) -> %s (+ .tsv)"
+              % (len(dep.alert_log), args.alerts))
     if args.profile:
         print()
         print(dep.kernel_profile().hotspot_table())

@@ -33,7 +33,7 @@ service and workload without touching call sites.
 
 from repro.cluster.balancer import flow_key
 from repro.cluster.ring import DEFAULT_VNODES
-from repro.cluster.target import ClusterTarget
+from repro.cluster.target import REQUEST_TIMEOUT_NS, ClusterTarget
 from repro.errors import TargetError
 from repro.netsim import FaultInjector, Network
 from repro.targets.cpu import CpuTarget
@@ -467,9 +467,17 @@ class ClusterBackend(Backend):
         self._require_started()
         target = self.target
         count = max(1, target.num_shards)
+        # Pin shard -> queue index for the whole run.  The live
+        # _shard_index re-sorts on membership changes, so reading it
+        # from the route closure would silently remap a surviving
+        # shard onto the *evicted* shard's queue (and trace track)
+        # mid-run — rerouted keys must land on their new owner's own
+        # queue instead.
+        index_of = {shard_id: index for index, shard_id
+                    in enumerate(target._shard_order)}
 
         def route(frame):
-            index = target._shard_index.get(target.owner_of(frame))
+            index = index_of.get(target.owner_of(frame))
             return 0 if index is None else index % count
         return count, route
 
@@ -490,12 +498,23 @@ class ClusterBackend(Backend):
 
     def open_loop_profile(self, frame):
         self._require_started()
-        shard = self.target.shards.get(self.target.owner_of(frame))
+        owner = self.target.owner_of(frame)
+        shard = self.target.shards.get(owner)
         if shard is None:
             # No routable key: the balancer has nowhere to send it —
             # no reply, no shard occupied (closed-loop send() raises
             # here; an open-loop run records a drop and moves on).
             return [], 0.0, 0.0
+        if owner in self.target._down:
+            # A crashed-but-not-yet-evicted shard eats the request:
+            # send() runs the failure detector (and the eventual
+            # eviction), and the client burns the full timeout on the
+            # dead shard's queue — the same REQUEST_TIMEOUT_NS the
+            # closed-loop availability harness charges, so timed-out
+            # requests show up in the trace as the 50 us tail spans
+            # they are instead of instant failures.
+            emitted, _ = self.target.send(frame)
+            return emitted, float(REQUEST_TIMEOUT_NS), 0.0
         return self._profile_via(shard,
                                  lambda: self.target.send(frame))
 

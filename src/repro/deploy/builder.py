@@ -25,7 +25,9 @@ from repro.deploy.spec import ServiceSpec
 from repro.engine.openloop import ArrivalSpec, run_open_loop
 from repro.errors import TargetError
 from repro.harness.report import render_table
+from repro.obs.analyze import analyze_trace
 from repro.obs.series import TimeSeries
+from repro.obs.slo import SloMonitor, SloSpec
 from repro.obs.trace import TraceRecorder
 
 VALID_OPT_LEVELS = (None, 0, 1, 2)
@@ -72,6 +74,12 @@ class Deployment:
         #: The :class:`~repro.obs.series.TimeSeries` of the last
         #: :meth:`run_open_loop` when :meth:`with_timeseries` is on.
         self.timeseries = None
+        self._slo_spec = None
+        #: The :class:`~repro.obs.slo.SloMonitor` of the last
+        #: :meth:`run_open_loop` when :meth:`with_slo` is on.
+        self.slo = None
+        #: The monitor's :class:`~repro.obs.slo.AlertLog` (same run).
+        self.alert_log = None
 
     # -- fluent configuration ----------------------------------------------
 
@@ -172,6 +180,25 @@ class Deployment:
         if window_ns <= 0:
             raise TargetError("time-series window must be positive")
         self._series_window_ns = window_ns
+        return self
+
+    def with_slo(self, spec):
+        """Judge every open-loop run against an
+        :class:`~repro.obs.slo.SloSpec`: a streaming
+        :class:`~repro.obs.slo.SloMonitor` consumes each closed
+        time-series window (one is sampled at ``spec.window_us`` when
+        :meth:`with_timeseries` is not already on), burn-rate alerts
+        land in ``self.alert_log``, and — when :meth:`with_trace` is
+        also on — every alert transition is mirrored as an instant
+        event on the trace timeline."""
+        self._require_not_started()
+        if not isinstance(spec, SloSpec):
+            raise TargetError("with_slo wants an SloSpec, got %r"
+                              % (spec,))
+        if not spec.objectives:
+            raise TargetError("SLO spec %r declares no objectives"
+                              % (spec.name,))
+        self._slo_spec = spec
         return self
 
     def with_profile(self):
@@ -304,9 +331,16 @@ class Deployment:
                       self.spec.workload(count, seed, **options)
                       if count else [])
         series = None
-        if self._series_window_ns is not None:
-            series = TimeSeries(window_ns=self._series_window_ns)
+        window_ns = self._series_window_ns
+        if window_ns is None and self._slo_spec is not None:
+            window_ns = int(self._slo_spec.window_us * 1000)
+        if window_ns is not None:
+            series = TimeSeries(window_ns=window_ns)
             self.timeseries = series
+        if self._slo_spec is not None:
+            self.slo = SloMonitor(self._slo_spec, tracer=self.tracer)
+            self.alert_log = self.slo.alert_log
+            series.observers.append(self.slo.on_window)
         self.open_loop = run_open_loop(
             self.backend, self._arrivals, frames, duration_ns,
             seed=seed, tracer=self.tracer, series=series,
@@ -318,6 +352,21 @@ class Deployment:
         compiled kernels (:meth:`with_profile` must be on)."""
         self._require_started()
         return self.backend.kernel_profile()
+
+    def analysis(self):
+        """Post-run trace analytics
+        (:class:`~repro.obs.analyze.TraceAnalysis`): per-request
+        critical-path decomposition, p50-vs-p99 tail attribution, and
+        — when :meth:`with_profile` is on — the FSM-state flamegraph.
+        Needs :meth:`with_trace` plus a traced :meth:`run_open_loop`."""
+        if self.tracer is None:
+            raise TargetError(
+                "nothing to analyze: record a trace first "
+                "(.with_trace() before start, then run_open_loop)")
+        profile = None
+        if self._profile and self.backend is not None:
+            profile = self.backend.kernel_profile()
+        return analyze_trace(self.tracer, profile=profile)
 
     # -- models -------------------------------------------------------------
 
@@ -361,6 +410,10 @@ class Deployment:
             rows.insert(-1, ["arrivals", "%s @ %.0f qps"
                              % (self._arrivals.process,
                                 self._arrivals.qps)])
+        if self._slo_spec is not None:
+            rows.insert(-1, ["slo", "%s (%d objective(s))"
+                             % (self._slo_spec.name,
+                                len(self._slo_spec.objectives))])
         return render_table(["Parameter", "Value"], rows,
                             title="Deployment: %s on %s"
                                   % (self.spec.name, self._backend_name))

@@ -23,6 +23,8 @@ distinct label set is its own instrument, and snapshots render them
 ``name{k=v,...}`` with sorted keys, so output order is deterministic.
 """
 
+import re
+
 from repro.errors import ObsError
 
 #: Default latency histogram bounds (µs): sub-µs device latencies up
@@ -167,6 +169,42 @@ def _key(name, labels):
     return (name, tuple(sorted(labels.items())))
 
 
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name):
+    """A legal Prometheus metric name (invalid chars -> ``_``, and a
+    leading digit gets a ``_`` prefix)."""
+    name = _PROM_INVALID.sub("_", str(name))
+    if name[:1].isdigit():
+        name = "_" + name
+    return name
+
+
+def _prom_labels(labels, extra=()):
+    """``{k="v",...}`` with sorted keys + escaped values (empty string
+    without labels)."""
+    pairs = sorted(labels.items()) + list(extra)
+    if not pairs:
+        return ""
+    rendered = []
+    for key, value in pairs:
+        value = str(value).replace("\\", "\\\\").replace('"', '\\"') \
+            .replace("\n", "\\n")
+        rendered.append('%s="%s"' % (_prom_name(key), value))
+    return "{%s}" % ",".join(rendered)
+
+
+def _prom_value(value):
+    if value is None:
+        return "NaN"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return "%d" % int(value)
+        return repr(value)
+    return "%d" % value
+
+
 def _render(name, labels):
     if not labels:
         return name
@@ -227,6 +265,64 @@ class MetricsRegistry:
             else:
                 out[rendered] = instrument.value
         return out
+
+    def to_prometheus(self):
+        """Prometheus text-exposition rendering of every instrument.
+
+        One ``# TYPE`` header per metric name, label sets as sorted
+        ``name{k="v"}`` lines, histograms in the canonical
+        ``_bucket``/``_sum``/``_count`` expansion with cumulative
+        ``le`` buckets ending at ``+Inf``.  Output is deterministic
+        (sorted names, sorted label sets, fixed float rendering), so
+        the golden-file test can diff it byte for byte — and the
+        coming socket front-end can serve it on ``/metrics``
+        unchanged.
+        """
+        by_name = {}
+        for (name, labels), instrument in self._instruments.items():
+            by_name.setdefault(name, []).append((dict(labels),
+                                                 instrument))
+        lines = []
+        for name in sorted(by_name):
+            prom = _prom_name(name)
+            entries = sorted(by_name[name],
+                             key=lambda entry:
+                             tuple(sorted(entry[0].items())))
+            kind = entries[0][1]
+            if isinstance(kind, Counter):
+                lines.append("# TYPE %s counter" % prom)
+                for labels, counter in entries:
+                    lines.append("%s%s %s" % (prom,
+                                              _prom_labels(labels),
+                                              _prom_value(counter.value)))
+            elif isinstance(kind, Gauge):
+                lines.append("# TYPE %s gauge" % prom)
+                for labels, gauge in entries:
+                    lines.append("%s%s %s" % (prom,
+                                              _prom_labels(labels),
+                                              _prom_value(gauge.value)))
+            else:
+                lines.append("# TYPE %s histogram" % prom)
+                for labels, histogram in entries:
+                    cumulative = 0
+                    for bound, count in zip(histogram.bounds,
+                                            histogram.counts):
+                        cumulative += count
+                        lines.append("%s_bucket%s %d" % (
+                            prom,
+                            _prom_labels(labels,
+                                         [("le",
+                                           _prom_value(bound))]),
+                            cumulative))
+                    lines.append("%s_bucket%s %d" % (
+                        prom, _prom_labels(labels, [("le", "+Inf")]),
+                        histogram.count))
+                    lines.append("%s_sum%s %s" % (
+                        prom, _prom_labels(labels),
+                        _prom_value(histogram.total)))
+                    lines.append("%s_count%s %d" % (
+                        prom, _prom_labels(labels), histogram.count))
+        return "\n".join(lines) + "\n"
 
     def __repr__(self):
         return "MetricsRegistry(%d instruments)" % len(self)

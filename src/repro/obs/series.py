@@ -16,7 +16,21 @@ clock anywhere).
 
 The open-loop layer drives the live interface (``observe_latency`` per
 completion, ``flush`` at each boundary); consumers read :attr:`rows`
-or :meth:`to_tsv`.
+or :meth:`to_tsv`.  Streaming consumers (the SLO monitor) register in
+:attr:`TimeSeries.observers` and are called at every window close with
+the new row plus that window's own sorted latencies.
+
+Trailing-partial-window semantics (pinned, regression-tested): the
+sampler flushes one full-width window per elapsed ``window_ns``;
+:meth:`finish` then closes at most one final *partial* row covering
+``[last boundary, end)`` — created only when that interval saw any
+activity (pending latencies or counter movement), and exposed
+explicitly as :attr:`final_partial` (``None`` when the run ended
+exactly on a boundary with nothing draining).  The partial row's span
+may be shorter *or* longer than ``window_ns`` (completions drain past
+the nominal duration); its rates always derive from its actual span.
+:meth:`finish` is idempotent — a second call at the same instant adds
+nothing.
 """
 
 from repro.errors import ObsError
@@ -92,6 +106,14 @@ class TimeSeries:
             raise ObsError("window must be positive")
         self.window_ns = int(window_ns)
         self.rows = []
+        #: Streaming window consumers: ``callable(window,
+        #: sorted_latencies_ns)`` invoked at every flush (the SLO
+        #: monitor's hook).  Observers must not mutate the series.
+        self.observers = []
+        #: The trailing partial row :meth:`finish` closed (``None``
+        #: until finish runs, or when the run ended exactly on a
+        #: window boundary with nothing left to record).
+        self.final_partial = None
         self._window_latencies = []
         self._last = None               # previous cumulative snapshot
         self._last_busy = None
@@ -119,27 +141,37 @@ class TimeSeries:
         ordered = sorted(self._window_latencies)
         p50 = interpolate_percentile(ordered, 0.50)
         p99 = interpolate_percentile(ordered, 0.99)
-        self.rows.append(Window(
+        row = Window(
             self._last_end_ns, now_ns, *delta,
             p50_us=None if p50 is None else p50 / 1000.0,
             p99_us=None if p99 is None else p99 / 1000.0,
             depths=[queue.depth for queue in queues],
             busy_fraction=(busy - busy_before) / capacity_ns
-            if capacity_ns else 0.0))
+            if capacity_ns else 0.0)
+        self.rows.append(row)
         self._window_latencies = []
         self._last = current
         self._last_busy = busy
         self._last_end_ns = now_ns
+        for observer in self.observers:
+            observer(row, ordered)
+        return row
 
     def finish(self, now_ns, report, queues):
         """Capture the post-duration tail (completions still draining
-        after the last full window) as one final partial row."""
+        after the last full window) as one final partial row, exposed
+        on :attr:`final_partial` — created only when time passed since
+        the last boundary *and* something happened in it (pending
+        window latencies or counter movement); idempotent otherwise."""
+        previous = self._last if self._last is not None \
+            else (0, 0, 0, 0, 0, 0)
         if now_ns > self._last_end_ns and (
-                self._window_latencies or self._last !=
+                self._window_latencies or previous !=
                 (report.offered, report.admitted, report.completed,
                  report.replies, report.queue_drops,
                  report.service_drops)):
-            self.flush(now_ns, report, queues)
+            self.final_partial = self.flush(now_ns, report, queues)
+        return self.final_partial
 
     # -- consumption ---------------------------------------------------------
 

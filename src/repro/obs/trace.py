@@ -27,8 +27,12 @@ import json
 
 from repro.errors import ObsError
 
-#: Trace-event categories used by the built-in instrumentation.
-CATEGORIES = ("request", "fault", "health", "queue", "cluster")
+#: Trace-event categories used by the built-in instrumentation
+#: (``alert`` marks SLO burn-rate transitions from
+#: :mod:`repro.obs.slo`, mirrored onto the same timeline as the
+#: fault instants that cause them).
+CATEGORIES = ("request", "fault", "health", "queue", "cluster",
+              "alert")
 
 
 class TraceRecorder:

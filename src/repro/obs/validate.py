@@ -1,11 +1,21 @@
-"""Chrome trace-event JSON schema validation (stdlib only).
+"""Export-format validation for the observability layer (stdlib only).
 
     python -m repro.obs.validate /tmp/trace.json
+    python -m repro.obs.validate /tmp/trace.json --tsv /tmp/trace.tsv \\
+        --alerts /tmp/alerts.json --summary
 
-Exit 0 when the file is a structurally valid trace our exporters could
-have produced (and Perfetto will load); exit 1 with the first violation
-otherwise.  CI's trace-smoke job gates on this, so a refactor that
-silently breaks the export format fails loudly.
+Validates, structurally, everything the exporters can produce:
+
+* the Chrome trace-event JSON (Perfetto-loadable ``traceEvents``);
+* the flat trace TSV (``--tsv``: header, column counts, numeric
+  fields, JSON args, sorted timestamps);
+* the SLO alert-log JSON (``--alerts``: event schema, ``fire`` /
+  ``escalate`` / ``resolve`` state pairing, monotone timestamps).
+
+Exit 0 when every given file is valid; exit 1 with the first
+violations otherwise.  ``--summary`` appends one machine-greppable
+line — ``summary: S spans, I instants, A alert event(s)`` — which the
+CI ``slo-smoke`` job asserts on.
 """
 
 import json
@@ -13,6 +23,14 @@ import sys
 
 REQUIRED = {"name", "ph", "ts", "pid", "tid"}
 PHASES = {"X", "i", "M"}
+
+TSV_HEADER = "ts_ns\tdur_ns\ttrack\tcat\tkind\tname\targs"
+TSV_KINDS = {"span", "instant"}
+
+ALERT_REQUIRED = {"seq", "t_ns", "kind", "severity", "objective",
+                  "rule", "burn_fast", "burn_slow", "budget_spent"}
+ALERT_KINDS = {"fire", "escalate", "resolve"}
+ALERT_SEVERITIES = {"ticket", "page"}
 
 
 def validate_trace(document):
@@ -61,32 +79,204 @@ def validate_trace(document):
     return problems
 
 
-def validate_file(path):
+def validate_tsv(text):
+    """Violations in a :meth:`TraceRecorder.to_tsv` export."""
+    problems = []
+    lines = text.splitlines()
+    if not lines:
+        return ["TSV is empty"]
+    if lines[0] != TSV_HEADER:
+        return ["bad header %r (want %r)" % (lines[0], TSV_HEADER)]
+    last_ts = None
+    for number, line in enumerate(lines[1:], start=2):
+        where = "line %d" % number
+        cells = line.split("\t")
+        if len(cells) != 7:
+            problems.append("%s: %d column(s), want 7"
+                            % (where, len(cells)))
+            continue
+        ts, dur, track, _cat, kind, _name, args = cells
+        for label, cell in (("ts_ns", ts), ("dur_ns", dur),
+                            ("track", track)):
+            if not cell.lstrip("-").isdigit():
+                problems.append("%s: %s %r is not an integer"
+                                % (where, label, cell))
+        if kind not in TSV_KINDS:
+            problems.append("%s: unknown kind %r" % (where, kind))
+        elif kind == "instant" and dur.isdigit() and int(dur) != 0:
+            problems.append("%s: instant with nonzero dur %s"
+                            % (where, dur))
+        try:
+            json.loads(args)
+        except ValueError:
+            problems.append("%s: args is not JSON: %r" % (where, args))
+        if ts.lstrip("-").isdigit():
+            if last_ts is not None and int(ts) < last_ts:
+                problems.append("%s: timestamps not sorted (%s < %d)"
+                                % (where, ts, last_ts))
+            last_ts = int(ts)
+    return problems
+
+
+def validate_alert_log(document):
+    """Violations in an :meth:`AlertLog.to_json` export: per-event
+    schema plus the fire/escalate/resolve state machine (an alert
+    resolves only while active, never fires twice without resolving,
+    and timestamps never go backwards)."""
+    problems = []
+    if not isinstance(document, dict):
+        return ["top level must be an object"]
+    if not isinstance(document.get("slo"), str):
+        problems.append("missing/invalid 'slo' name")
+    events = document.get("events")
+    if not isinstance(events, list):
+        problems.append("'events' must be a list")
+        return problems
+    active = set()
+    last_ts = None
+    for index, event in enumerate(events):
+        where = "events[%d]" % index
+        if not isinstance(event, dict):
+            problems.append("%s: not an object" % where)
+            continue
+        missing = ALERT_REQUIRED - set(event)
+        if missing:
+            problems.append("%s: missing %s"
+                            % (where, ", ".join(sorted(missing))))
+            continue
+        if event["seq"] != index:
+            problems.append("%s: seq %r breaks append-only order"
+                            % (where, event["seq"]))
+        kind = event["kind"]
+        if kind not in ALERT_KINDS:
+            problems.append("%s: unknown kind %r" % (where, kind))
+            continue
+        if event["severity"] not in ALERT_SEVERITIES:
+            problems.append("%s: unknown severity %r"
+                            % (where, event["severity"]))
+        t_ns = event["t_ns"]
+        if not isinstance(t_ns, int) or t_ns < 0:
+            problems.append("%s: bad t_ns %r" % (where, t_ns))
+        elif last_ts is not None and t_ns < last_ts:
+            problems.append("%s: timestamps not sorted (%d < %d)"
+                            % (where, t_ns, last_ts))
+        else:
+            last_ts = t_ns
+        for field in ("burn_fast", "burn_slow", "budget_spent"):
+            if not isinstance(event[field], (int, float)) \
+                    or event[field] < 0:
+                problems.append("%s: bad %s %r"
+                                % (where, field, event[field]))
+        key = (event["objective"], event["severity"])
+        if kind == "resolve":
+            if key not in active:
+                problems.append("%s: resolve of inactive alert %r"
+                                % (where, key))
+            active.discard(key)
+        else:
+            if key in active:
+                problems.append("%s: %s while %r already active"
+                                % (where, kind, key))
+            active.add(key)
+    return problems
+
+
+def _count_trace(document):
+    events = document.get("traceEvents", []) \
+        if isinstance(document, dict) else []
+    spans = sum(1 for event in events
+                if isinstance(event, dict) and event.get("ph") == "X")
+    instants = sum(1 for event in events
+                   if isinstance(event, dict)
+                   and event.get("ph") == "i")
+    return spans, instants
+
+
+def _load_json(path):
     with open(path) as handle:
         try:
-            document = json.load(handle)
+            return json.load(handle), []
         except ValueError as error:
-            return ["not JSON: %s" % error]
+            return None, ["not JSON: %s" % error]
+
+
+def validate_file(path):
+    document, problems = _load_json(path)
+    if problems:
+        return problems
     return validate_trace(document)
 
 
 def main(argv=None):
     argv = sys.argv[1:] if argv is None else argv
-    if len(argv) != 1:
-        print("usage: python -m repro.obs.validate <trace.json>",
-              file=sys.stderr)
+    trace_path = None
+    tsv_path = None
+    alerts_path = None
+    summary = False
+    index = 0
+    while index < len(argv):
+        arg = argv[index]
+        if arg == "--summary":
+            summary = True
+        elif arg in ("--tsv", "--alerts"):
+            if index + 1 >= len(argv):
+                print("%s needs a path" % arg, file=sys.stderr)
+                return 2
+            index += 1
+            if arg == "--tsv":
+                tsv_path = argv[index]
+            else:
+                alerts_path = argv[index]
+        elif arg.startswith("-"):
+            print("unknown option %r" % arg, file=sys.stderr)
+            return 2
+        elif trace_path is None:
+            trace_path = arg
+        else:
+            print("at most one trace.json positional", file=sys.stderr)
+            return 2
+        index += 1
+    if trace_path is None:
+        print("usage: python -m repro.obs.validate <trace.json> "
+              "[--tsv <trace.tsv>] [--alerts <alerts.json>] "
+              "[--summary]", file=sys.stderr)
         return 2
-    problems = validate_file(argv[0])
+
+    problems = []
+    document, load_problems = _load_json(trace_path)
+    problems += ["%s: %s" % (trace_path, problem)
+                 for problem in (load_problems
+                                 or validate_trace(document))]
+    spans = instants = alerts = 0
+    if document is not None:
+        spans, instants = _count_trace(document)
+    if tsv_path is not None:
+        with open(tsv_path) as handle:
+            problems += ["%s: %s" % (tsv_path, problem)
+                         for problem in validate_tsv(handle.read())]
+    if alerts_path is not None:
+        alert_doc, load_problems = _load_json(alerts_path)
+        problems += ["%s: %s" % (alerts_path, problem)
+                     for problem in (load_problems
+                                     or validate_alert_log(alert_doc))]
+        if alert_doc is not None and \
+                isinstance(alert_doc.get("events"), list):
+            alerts = len(alert_doc["events"])
+
     if problems:
         for problem in problems:
             print("INVALID: %s" % problem, file=sys.stderr)
         return 1
-    with open(argv[0]) as handle:
-        events = json.load(handle)["traceEvents"]
-    spans = sum(1 for event in events if event.get("ph") == "X")
-    instants = sum(1 for event in events if event.get("ph") == "i")
-    print("valid Chrome trace: %d events (%d spans, %d instants)"
-          % (len(events), spans, instants))
+    print("valid Chrome trace: %s (%d spans, %d instants)"
+          % (trace_path, spans, instants))
+    if tsv_path is not None:
+        print("valid trace TSV: %s" % tsv_path)
+    if alerts_path is not None:
+        print("valid alert log: %s (%d event(s))"
+              % (alerts_path, alerts))
+    if summary:
+        print("summary: %d spans, %d instants, %d alert event(s)"
+              % (spans, instants, alerts))
     return 0
 
 

@@ -106,3 +106,72 @@ def test_validate_cli(capsys, tmp_path):
     bad.write_text('{"traceEvents": []}')
     assert validate_main([str(bad)]) == 1
     assert validate_main([]) == 2
+
+
+def test_slo_flag_judges_the_run(capsys, tmp_path):
+    import json
+    from repro.obs.validate import validate_alert_log
+    alerts = str(tmp_path / "alerts.json")
+    code = main(["--service", "memcached", "--backend", "cluster",
+                 "--shards", "2", "--arrivals", "poisson",
+                 "--qps", "1000000", "--duration-ms", "0.2",
+                 "--seed", "9", "--window-us", "20",
+                 "--slo", "p99<=200us,errors<=0.01,availability>=0.99",
+                 "--slo-rule", "page:14.4:5/10",
+                 "--alerts", alerts])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "SLO: cli-slo" in out
+    assert "Budget spent" in out
+    assert "alert log:" in out
+    with open(alerts) as handle:
+        assert validate_alert_log(json.load(handle)) == []
+    with open(alerts + ".tsv") as handle:
+        assert handle.readline().startswith("seq\tt_ns\tkind")
+
+
+def test_analyze_flag_implies_tracing(capsys):
+    code = main(["--service", "memcached", "--backend", "multicore",
+                 "--cores", "2", "--arrivals", "poisson",
+                 "--qps", "1000000", "--duration-ms", "0.1",
+                 "--seed", "9", "--analyze"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Critical path" in out
+    assert "Tail attribution" in out
+
+
+def test_slo_flag_errors(capsys, tmp_path):
+    assert main(["--slo", "p99<=200us", "--requests", "1"]) == 2
+    assert "--slo needs --arrivals" in capsys.readouterr().err
+    assert main(["--alerts", str(tmp_path / "a.json"),
+                 "--requests", "1"]) == 2
+    assert "--alerts needs --slo" in capsys.readouterr().err
+    assert main(["--analyze", "--requests", "1"]) == 2
+    assert "--analyze needs --arrivals" in capsys.readouterr().err
+    assert main(["--slo", "p99<=200us;bogus", "--arrivals", "poisson",
+                 "--requests", "1"]) == 2
+    assert "bad --slo" in capsys.readouterr().err
+    assert main(["--slo", "p99<=200us", "--slo-rule", "nope",
+                 "--arrivals", "poisson", "--requests", "1"]) == 2
+    assert "bad --slo" in capsys.readouterr().err
+
+
+def test_validate_cli_summary(capsys, tmp_path):
+    from repro.obs.validate import main as validate_main
+    trace = str(tmp_path / "t.json")
+    alerts = str(tmp_path / "alerts.json")
+    assert main(["--service", "memcached", "--backend", "fpga",
+                 "--arrivals", "poisson", "--qps", "500000",
+                 "--duration-ms", "0.1", "--seed", "9",
+                 "--trace", trace, "--window-us", "20",
+                 "--slo", "availability>=0.99",
+                 "--alerts", alerts]) == 0
+    capsys.readouterr()
+    assert validate_main([trace, "--tsv", trace + ".tsv",
+                          "--alerts", alerts, "--summary"]) == 0
+    out = capsys.readouterr().out
+    assert "valid Chrome trace" in out
+    assert "valid trace TSV" in out
+    assert "valid alert log" in out
+    assert "summary: " in out and "alert event(s)" in out

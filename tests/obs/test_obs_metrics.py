@@ -164,3 +164,56 @@ class TestRegistry:
         registry.histogram("latency_us").observe(5.0)
         snapshot = registry.snapshot()
         assert snapshot["latency_us"]["count"] == 1
+
+
+class TestPrometheusExport:
+    def build_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", backend="cluster").inc(1300)
+        registry.counter("requests_total", backend="fpga").inc(256)
+        registry.counter("drops_total", server="shard1",
+                         kind="service").inc(3)
+        registry.gauge("live_shards").set(3)
+        registry.gauge("queue_depth", server="shard0").set(2.5)
+        histogram = registry.histogram(
+            "latency_us", bounds=(1, 5, 25), service="memcached")
+        for value in (0.4, 0.9, 3.0, 4.0, 30.0):
+            histogram.observe(value)
+        return registry
+
+    def test_matches_the_golden_file(self):
+        import os
+        golden = os.path.join(os.path.dirname(__file__), "golden",
+                              "metrics.prom")
+        with open(golden) as handle:
+            assert self.build_registry().to_prometheus() == \
+                handle.read()
+
+    def test_histogram_buckets_are_cumulative_to_inf(self):
+        text = self.build_registry().to_prometheus()
+        lines = [line for line in text.splitlines()
+                 if line.startswith("latency_us_bucket")]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)        # cumulative
+        assert 'le="+Inf"' in lines[-1]
+        assert counts[-1] == 5                 # total observations
+
+    def test_type_headers_precede_sorted_names(self):
+        text = self.build_registry().to_prometheus()
+        types = [line.split()[3] for line in text.splitlines()
+                 if line.startswith("# TYPE")]
+        names = [line.split()[2] for line in text.splitlines()
+                 if line.startswith("# TYPE")]
+        assert names == sorted(names)
+        assert set(types) == {"counter", "gauge", "histogram"}
+
+    def test_invalid_chars_are_sanitised(self):
+        registry = MetricsRegistry()
+        registry.counter("drop-rate.total", **{"shard id": 'a"b\n'}).inc(1)
+        text = registry.to_prometheus()
+        assert "drop_rate_total" in text
+        assert 'shard_id="a\\"b\\n"' in text
+
+    def test_export_is_deterministic(self):
+        assert self.build_registry().to_prometheus() == \
+            self.build_registry().to_prometheus()

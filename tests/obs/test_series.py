@@ -100,10 +100,12 @@ class TestTimeSeries:
         series.flush(1000, report, [])
         series.finish(1000, report, [])      # at the boundary: no row
         assert len(series) == 1
+        assert series.final_partial is None
         report.completed = 2
         series.finish(1500, report, [])      # drained completion
         assert len(series) == 2
         assert series.rows[1].span_ns == 500
+        assert series.final_partial is series.rows[1]
 
     def test_windows_overlapping(self):
         series = TimeSeries(window_ns=1000)
@@ -138,3 +140,62 @@ class TestTimeSeries:
             series.flush(1000, report, [FakeQueue(2)])
             return series.to_tsv()
         assert build() == build()
+
+
+class TestFinalPartial:
+    """The pinned trailing-partial-window semantics: one partial row
+    at most, only with activity, idempotent, rates from actual span."""
+
+    def test_quiet_unstarted_series_finishes_empty(self):
+        series = TimeSeries(window_ns=1000)
+        report = FakeReport()
+        assert series.finish(500, report, []) is None
+        assert len(series) == 0
+        assert series.final_partial is None
+
+    def test_pending_latencies_alone_force_the_partial(self):
+        series = TimeSeries(window_ns=1000)
+        report = FakeReport()
+        report.completed = 1
+        series.flush(1000, report, [])
+        series.observe_latency(700)       # drained after the boundary
+        row = series.finish(1200, report, [])
+        assert row is series.final_partial
+        assert row.p50_us == pytest.approx(0.7)
+
+    def test_finish_is_idempotent(self):
+        series = TimeSeries(window_ns=1000)
+        report = FakeReport()
+        report.completed = 3
+        first = series.finish(1500, report, [])
+        second = series.finish(1500, report, [])
+        assert first is second is series.final_partial
+        assert len(series) == 1
+
+    def test_partial_longer_than_window_uses_actual_span(self):
+        # Completions draining past the nominal duration stretch the
+        # partial beyond window_ns; rates must use the real span.
+        series = TimeSeries(window_ns=1000)
+        report = FakeReport()
+        report.completed = 4
+        row = series.finish(2500, report, [])
+        assert row.span_ns == 2500
+        assert row.qps == pytest.approx(4 * 1e9 / 2500)
+
+
+class TestObservers:
+    def test_observer_sees_each_row_with_sorted_latencies(self):
+        series = TimeSeries(window_ns=1000)
+        report = FakeReport()
+        seen = []
+        series.observers.append(
+            lambda row, latencies: seen.append((row, latencies)))
+        series.observe_latency(300)
+        series.observe_latency(100)
+        report.completed = 2
+        series.flush(1000, report, [])
+        report.completed = 3
+        series.finish(1400, report, [])
+        assert [row for row, _ in seen] == series.rows
+        assert seen[0][1] == [100, 300]
+        assert seen[1][1] == []

@@ -1,0 +1,109 @@
+"""Structural validators for the export formats: trace TSV and the
+SLO alert-log JSON (the Chrome-trace validator is covered by the CLI
+and deployment suites)."""
+
+from repro.obs.validate import (TSV_HEADER, validate_alert_log,
+                                validate_tsv)
+
+
+def alert(seq, t_ns, kind, severity="page",
+          objective="errors<=0.0100"):
+    return {"seq": seq, "t_ns": t_ns, "kind": kind,
+            "severity": severity, "objective": objective,
+            "rule": "2.0x over 5/10 windows", "burn_fast": 2.5,
+            "burn_slow": 2.1, "budget_spent": 0.4}
+
+
+class TestValidateTsv:
+    def good(self):
+        return "\n".join([
+            TSV_HEADER,
+            '10\t5\t0\trequest\tspan\trequest\t{"seq": 0}',
+            "20\t0\t1\talert\tinstant\talert:fire:page:errors\t{}",
+        ]) + "\n"
+
+    def test_accepts_well_formed_export(self):
+        assert validate_tsv(self.good()) == []
+
+    def test_rejects_empty_and_bad_header(self):
+        assert validate_tsv("") == ["TSV is empty"]
+        assert "bad header" in validate_tsv("nope\tcols\n")[0]
+
+    def test_rejects_wrong_column_count(self):
+        text = TSV_HEADER + "\n1\t2\t3\n"
+        assert "3 column(s), want 7" in validate_tsv(text)[0]
+
+    def test_rejects_non_integer_timestamps(self):
+        text = TSV_HEADER + '\nxx\t0\t0\tc\tspan\tn\t{}\n'
+        assert any("not an integer" in problem
+                   for problem in validate_tsv(text))
+
+    def test_rejects_instant_with_duration(self):
+        text = TSV_HEADER + '\n5\t9\t0\tc\tinstant\tn\t{}\n'
+        assert any("instant with nonzero dur" in problem
+                   for problem in validate_tsv(text))
+
+    def test_rejects_unsorted_timestamps(self):
+        text = TSV_HEADER + \
+            '\n20\t0\t0\tc\tspan\tn\t{}\n10\t0\t0\tc\tspan\tn\t{}\n'
+        assert any("not sorted" in problem
+                   for problem in validate_tsv(text))
+
+    def test_rejects_non_json_args(self):
+        text = TSV_HEADER + '\n5\t0\t0\tc\tspan\tn\tnot-json\n'
+        assert any("args is not JSON" in problem
+                   for problem in validate_tsv(text))
+
+
+class TestValidateAlertLog:
+    def test_accepts_fire_resolve_pairing(self):
+        document = {"slo": "s", "events": [
+            alert(0, 100, "fire"),
+            alert(1, 200, "resolve"),
+            alert(2, 300, "fire"),
+        ]}
+        assert validate_alert_log(document) == []
+
+    def test_rejects_missing_fields_and_bad_enums(self):
+        assert validate_alert_log([]) == \
+            ["top level must be an object"]
+        assert any("missing" in problem for problem in
+                   validate_alert_log({"slo": "s",
+                                       "events": [{"seq": 0}]}))
+        bad_kind = alert(0, 1, "explode")
+        assert any("unknown kind" in problem for problem in
+                   validate_alert_log({"slo": "s",
+                                       "events": [bad_kind]}))
+
+    def test_rejects_broken_seq_order(self):
+        document = {"slo": "s", "events": [alert(7, 100, "fire")]}
+        assert any("append-only" in problem
+                   for problem in validate_alert_log(document))
+
+    def test_rejects_backwards_time(self):
+        document = {"slo": "s", "events": [
+            alert(0, 200, "fire"), alert(1, 100, "resolve")]}
+        assert any("not sorted" in problem
+                   for problem in validate_alert_log(document))
+
+    def test_rejects_resolve_of_inactive_alert(self):
+        document = {"slo": "s", "events": [alert(0, 100, "resolve")]}
+        assert any("inactive" in problem
+                   for problem in validate_alert_log(document))
+
+    def test_rejects_double_fire_without_resolve(self):
+        document = {"slo": "s", "events": [
+            alert(0, 100, "fire"), alert(1, 200, "fire")]}
+        assert any("already active" in problem
+                   for problem in validate_alert_log(document))
+
+    def test_escalate_tracks_its_own_severity(self):
+        # A page escalation while a ticket is active is legal; a
+        # second page event while the page is active is not.
+        document = {"slo": "s", "events": [
+            alert(0, 100, "fire", severity="ticket"),
+            alert(1, 200, "escalate", severity="page"),
+            alert(2, 300, "resolve", severity="ticket"),
+            alert(3, 400, "resolve", severity="page"),
+        ]}
+        assert validate_alert_log(document) == []
