@@ -1,0 +1,117 @@
+"""Socket-serving overhead: the loadgen-over-loopback throughput of a
+served memcached deployment vs the same bridge work in-process.
+
+The in-process baseline runs exactly the per-request work the serving
+front-end does — ``encap(payload)`` → ``send_batch`` → ``decap`` — with
+no sockets, no event loop, and no second process.  The socket number is
+the external load generator's achieved (verified-replies) rate against
+a real served UDP loopback socket at an offered rate comfortably above
+saturation.  The gate: sockets keep at least half the in-process rate
+(best socket round vs median in-process round), i.e. the kernel-bypass
+story's overhead budget.
+
+Results land in ``BENCH_serve.json`` at the repo root; the CI serve
+job uploads it without gating the merge (timing noise on shared
+runners), while this test still gates locally.
+"""
+
+import gc
+import json
+import time
+from pathlib import Path
+
+from repro.deploy import deploy
+from repro.serve.loadgen import LoadGenConfig, run_loadgen
+from repro.serve.spec import resolve_binding
+
+RATIO_FLOOR = 0.5
+ROUNDS = 3
+REQUESTS = 1500
+OFFERED_QPS = 15000.0
+DURATION_S = 0.8
+SEED = 0x5EBE
+BENCH_PATH = Path(__file__).resolve().parent.parent / \
+    "BENCH_serve.json"
+
+
+def _inprocess_rps(dep, binding, batch=64):
+    """One timed pass of the bridge work without sockets."""
+    payloads = [binding.probe(SEED, seq)[0]
+                for seq in range(REQUESTS)]
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        replies = 0
+        for base in range(0, len(payloads), batch):
+            frames = [binding.encap(payload, base + offset)
+                      for offset, payload in
+                      enumerate(payloads[base:base + batch])]
+            for emitted, _ in dep.send_batch(frames):
+                if emitted:
+                    binding.decap(emitted[0][1])
+                    replies += 1
+        elapsed = time.perf_counter() - start
+    finally:
+        if was_enabled:
+            gc.enable()
+    assert replies == REQUESTS
+    return REQUESTS / elapsed
+
+
+def _socket_rps(dep):
+    """One loadgen round against a freshly served loopback socket."""
+    server = dep.serve()
+    try:
+        host, port = server.address
+        result = run_loadgen(LoadGenConfig(
+            "memcached", host, port, qps=OFFERED_QPS,
+            duration_s=DURATION_S, seed=SEED, timeout_s=3.0))
+    finally:
+        server.stop()
+    assert result.verify_failures == 0
+    assert result.ok > 0
+    return result.report()["achieved_qps"]
+
+
+def _median(values):
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]
+
+
+def test_loadgen_keeps_half_of_in_process_throughput(bench_once):
+    def measure():
+        dep = deploy("memcached").on("cpu").start()
+        try:
+            binding = resolve_binding(dep.spec, "udp")
+            inproc = [_inprocess_rps(dep, binding)
+                      for _ in range(ROUNDS)]
+            sock = [_socket_rps(dep) for _ in range(ROUNDS)]
+        finally:
+            dep.stop()
+        return inproc, sock
+
+    inproc, sock = bench_once(measure)
+    baseline = _median(inproc)
+    best_socket = max(sock)
+    ratio = best_socket / baseline
+    record = {
+        "service": "memcached",
+        "transport": "udp",
+        "rounds": ROUNDS,
+        "requests": REQUESTS,
+        "offered_qps": OFFERED_QPS,
+        "duration_s": DURATION_S,
+        "inprocess_rps": round(baseline, 1),
+        "inprocess_rounds": [round(value, 1) for value in inproc],
+        "socket_rps": round(best_socket, 1),
+        "socket_rounds": [round(value, 1) for value in sock],
+        "ratio": round(ratio, 4),
+        "ratio_floor": RATIO_FLOOR,
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print("\nserve overhead: in-process %.0f rps, socket %.0f rps, "
+          "ratio %.2f (floor %.2f)"
+          % (baseline, best_socket, ratio, RATIO_FLOOR))
+    assert ratio >= RATIO_FLOOR, record

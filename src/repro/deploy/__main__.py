@@ -2,6 +2,10 @@
 
     python -m repro.deploy --service memcached --backend fpga \\
         --opt 2 --requests 1000
+    python -m repro.deploy --service memcached \\
+        --serve 127.0.0.1:11211 --serve-duration 10
+    python -m repro.deploy --service dns --backend cluster \\
+        --serve 127.0.0.1:0 --loadgen qps=2000,duration=2
     python -m repro.deploy --list
     python -m repro.deploy --matrix --requests 32
 
@@ -11,10 +15,13 @@ target-specific code, which is the point.
 """
 
 import argparse
+import subprocess
 import sys
+import time
 
 from repro.deploy.builder import deploy
 from repro.deploy.conformance import run_matrix
+from repro.errors import ServeError
 from repro.harness.report import render_table
 from repro.obs.slo import SloSpec
 from repro.services.catalog import registry
@@ -52,6 +59,28 @@ def _parser():
                         help="per-server ingest queue depth "
                              "(with --arrivals; default: the NetFPGA "
                              "ingress FIFO depth)")
+    parser.add_argument("--serve", metavar="HOST:PORT", default=None,
+                        help="serve the deployment behind a real "
+                             "loopback socket (port 0 picks a free "
+                             "one) instead of replaying a workload; "
+                             "drive it with python -m "
+                             "repro.serve.loadgen or any real client")
+    parser.add_argument("--transport", default=None,
+                        choices=["udp", "tcp"],
+                        help="socket transport (with --serve; "
+                             "default: the service's primary one)")
+    parser.add_argument("--serve-duration", type=float, default=None,
+                        help="serve for this many seconds then stop "
+                             "(with --serve; default: until the "
+                             "--loadgen run finishes, or until ^C)")
+    parser.add_argument("--loadgen", metavar="K=V,...", default=None,
+                        help="launch the external load generator as a "
+                             "subprocess against the served socket, "
+                             "e.g. 'qps=2000,duration=2,"
+                             "tsv=/tmp/lat.tsv,json=/tmp/report.json' "
+                             "(keys are repro.serve.loadgen flags; "
+                             "with --serve); the loadgen verdict "
+                             "becomes this command's exit code")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="record a virtual-time trace and write "
                              "Chrome trace JSON (Perfetto-loadable) "
@@ -183,10 +212,21 @@ def main(argv=None):
                           capacity=args.capacity)
     if args.trace is not None or args.analyze:
         dep.with_trace()
+    if args.serve is not None and args.arrivals is not None:
+        print("--serve and --arrivals are exclusive (a served "
+              "deployment gets its load from the socket)",
+              file=sys.stderr)
+        return 2
+    for flag, value in (("--loadgen", args.loadgen),
+                        ("--transport", args.transport),
+                        ("--serve-duration", args.serve_duration)):
+        if value is not None and args.serve is None:
+            print("%s needs --serve" % flag, file=sys.stderr)
+            return 2
     if args.timeseries is not None:
-        if args.arrivals is None:
-            print("--timeseries needs --arrivals (it samples the "
-                  "open-loop run)", file=sys.stderr)
+        if args.arrivals is None and args.serve is None:
+            print("--timeseries needs --arrivals or --serve (it "
+                  "samples a running workload)", file=sys.stderr)
             return 2
         dep.with_timeseries(window_us=args.window_us)
     if args.alerts is not None and args.slo is None:
@@ -198,9 +238,9 @@ def main(argv=None):
               "open-loop trace)", file=sys.stderr)
         return 2
     if args.slo is not None:
-        if args.arrivals is None:
-            print("--slo needs --arrivals (objectives stream over "
-                  "the open-loop windows)", file=sys.stderr)
+        if args.arrivals is None and args.serve is None:
+            print("--slo needs --arrivals or --serve (objectives "
+                  "stream over the run's windows)", file=sys.stderr)
             return 2
         try:
             spec = _parse_slo(args.slo, args.slo_rule, args.window_us)
@@ -214,9 +254,24 @@ def main(argv=None):
                   "on the compiled kernel)", file=sys.stderr)
             return 2
         dep.with_profile()
+    if args.serve is not None:
+        # Fail the capability check BEFORE spinning up a backend, so
+        # unservable services get a clear error instead of a hang.
+        try:
+            from repro.serve.spec import resolve_binding
+            resolve_binding(dep.spec, args.transport)
+        except ServeError as error:
+            print("cannot serve: %s" % error, file=sys.stderr)
+            return 2
+
     dep.start()
     print(dep.describe())
     print()
+
+    if args.serve is not None:
+        code = _run_serve(dep, args)
+        dep.stop()
+        return code
 
     if args.arrivals is not None:
         report = dep.run_open_loop(duration_ms=args.duration_ms)
@@ -253,6 +308,82 @@ def main(argv=None):
     _finish_obs(dep, args)
     dep.stop()
     return 0
+
+
+def _parse_endpoint(text):
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError("%r is not HOST:PORT" % (text,))
+    return host, int(port)
+
+
+def _loadgen_argv(spec_text, service, host, port):
+    """Turn the ``--loadgen k=v,...`` shorthand into the external
+    generator's command line (keys map 1:1 to its flags)."""
+    argv = [sys.executable, "-m", "repro.serve.loadgen",
+            "--service", service, "--host", host,
+            "--port", str(port)]
+    for pair in (spec_text or "").split(","):
+        pair = pair.strip()
+        if not pair:
+            continue
+        key, separator, value = pair.partition("=")
+        if not separator or not key.strip():
+            raise ValueError("loadgen option %r is not key=value"
+                             % (pair,))
+        argv += ["--%s" % key.strip(), value.strip()]
+    return argv
+
+
+def _run_serve(dep, args):
+    """The --serve flow: bind, optionally drive the external load
+    generator, report, and propagate the loadgen verdict."""
+    try:
+        host, port = _parse_endpoint(args.serve)
+    except ValueError as error:
+        print("bad --serve: %s" % error, file=sys.stderr)
+        return 2
+    try:
+        server = dep.serve(host, port, transport=args.transport,
+                           capacity=args.capacity)
+    except (ServeError, OSError) as error:
+        print("cannot serve: %s" % error, file=sys.stderr)
+        return 2
+    code = 0
+    try:
+        bound_host, bound_port = server.address
+        print("serving %s over %s on %s:%d"
+              % (dep.spec.name, server.binding.transport,
+                 bound_host, bound_port))
+        if args.loadgen is not None:
+            try:
+                argv = _loadgen_argv(args.loadgen, dep.spec.name,
+                                     bound_host, bound_port)
+            except ValueError as error:
+                print("bad --loadgen: %s" % error, file=sys.stderr)
+                return 2
+            if args.transport is not None:
+                argv += ["--transport", args.transport]
+            print("loadgen: %s" % " ".join(argv[2:]))
+            code = subprocess.call(argv)
+        elif args.serve_duration is not None:
+            time.sleep(args.serve_duration)
+        else:
+            print("(^C to stop)")
+            try:
+                while True:
+                    time.sleep(3600)
+            except KeyboardInterrupt:
+                pass
+    finally:
+        server.stop()
+    print()
+    print(server.report.text())
+    if dep.slo is not None:
+        print()
+        print(dep.slo.text())
+    _finish_obs(dep, args)
+    return code
 
 
 def _finish_obs(dep, args):

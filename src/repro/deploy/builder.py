@@ -80,6 +80,9 @@ class Deployment:
         self.slo = None
         #: The monitor's :class:`~repro.obs.slo.AlertLog` (same run).
         self.alert_log = None
+        #: The :class:`~repro.serve.server.SocketServer` of the last
+        #: :meth:`serve` call (``None`` until served).
+        self.server = None
 
     # -- fluent configuration ----------------------------------------------
 
@@ -346,6 +349,48 @@ class Deployment:
             seed=seed, tracer=self.tracer, series=series,
             injector=self.injector, batch=self._batch)
         return self.open_loop
+
+    def serve(self, host="127.0.0.1", port=0, transport=None,
+              capacity=None, batch=None):
+        """Put the started deployment behind a real loopback socket.
+
+        Binds the service's declared transport (see the registry
+        ``serve=`` capability) on *host*:*port* (``port=0`` picks a
+        free one) and returns the running
+        :class:`~repro.serve.server.SocketServer` — drive it with
+        ``python -m repro.serve.loadgen`` or any real client, then
+        call ``server.stop()``.  The observability toggles compose
+        exactly as for :meth:`run_open_loop`: :meth:`with_trace`
+        records the same admit→queue→dispatch→reply span families,
+        :meth:`with_timeseries` / :meth:`with_slo` run windowed
+        metrics and burn-rate alerting over the socket traffic.
+        """
+        self._require_started()
+        from repro.serve.server import SocketServer
+        series = None
+        window_ns = self._series_window_ns
+        if window_ns is None and self._slo_spec is not None:
+            window_ns = int(self._slo_spec.window_us * 1000)
+        if window_ns is not None:
+            series = TimeSeries(window_ns=window_ns)
+            self.timeseries = series
+        if self._slo_spec is not None:
+            self.slo = SloMonitor(self._slo_spec, tracer=self.tracer)
+            self.alert_log = self.slo.alert_log
+            series.observers.append(self.slo.on_window)
+        kwargs = {}
+        if capacity is not None:
+            kwargs["capacity"] = capacity
+        if batch is not None:
+            kwargs["batch"] = batch
+        elif self._batch is not None:
+            kwargs["batch"] = self._batch
+        server = SocketServer(self, host=host, port=port,
+                              transport=transport, series=series,
+                              **kwargs)
+        server.start()
+        self.server = server
+        return server
 
     def kernel_profile(self):
         """The merged per-FSM-state cycle profile across the backend's

@@ -27,13 +27,44 @@ bundles them:
 * ``backends``    — which deploy backends can faithfully run the
   service (port-semantics services like the learning switch flood to
   multiple physical ports, which the 1-port-per-core scale-out
-  backends cannot represent).
+  backends cannot represent);
+* ``serve``       — the real-socket serving capability (a
+  :class:`~repro.serve.spec.ServeSpec` with per-transport bindings,
+  ``None`` for services that explicitly cannot sit behind a socket,
+  or :data:`UNDECLARED` when the author never considered it — the
+  conformance suite requires every registry entry to pick a side).
 """
 
 from repro.errors import TargetError
 
 #: Every backend name the deploy layer registers.
 ALL_BACKENDS = ("cpu", "fpga", "multicore", "cluster", "netsim")
+
+
+class _Undeclared:
+    """Sentinel for "this spec never declared its socket capability".
+
+    Distinct from ``None``, which is an *explicit* declaration that the
+    service cannot be served over a socket (netsim-only port-semantics
+    services).  Falsy so ``if spec.serve:`` reads naturally.
+    """
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __bool__(self):
+        return False
+
+    def __repr__(self):
+        return "<serve capability undeclared>"
+
+
+#: The one sentinel instance (see :class:`_Undeclared`).
+UNDECLARED = _Undeclared()
 
 
 class ProtocolClient:
@@ -71,7 +102,8 @@ class ServiceSpec:
     def __init__(self, name, factory, client=None, workload=None,
                  trace=None, is_write=None, key_fn=None,
                  host_wrapper=None, has_kernel=False,
-                 backends=ALL_BACKENDS, description=""):
+                 backends=ALL_BACKENDS, description="",
+                 serve=UNDECLARED):
         if not callable(factory):
             raise TargetError("spec %r needs a callable factory" % name)
         self.name = name
@@ -85,6 +117,7 @@ class ServiceSpec:
         self.has_kernel = has_kernel
         self.backends = tuple(backends)
         self.description = description
+        self.serve = serve
 
     def build(self):
         """A fresh service instance."""
@@ -107,6 +140,36 @@ class ServiceSpec:
 
     def supports(self, backend_name):
         return backend_name in self.backends
+
+    # -- socket-serving capability (see repro.serve) -------------------------
+
+    @property
+    def declares_serve(self):
+        """Whether the spec took a position on socket serving at all
+        (``serve=None`` counts: it *declares* "not servable")."""
+        return self.serve is not UNDECLARED
+
+    @property
+    def transports(self):
+        """The declared socket transports, e.g. ``("udp", "tcp")`` —
+        empty for unservable or undeclared services."""
+        if not self.serve:
+            return ()
+        return self.serve.transports
+
+    @property
+    def transport(self):
+        """The primary socket transport (``None`` when unservable)."""
+        transports = self.transports
+        return transports[0] if transports else None
+
+    @property
+    def frame_decoder(self):
+        """The stream-framing decoder factory of the service's TCP
+        binding (``None`` for datagram-only or unservable services)."""
+        if not self.serve:
+            return None
+        return self.serve.frame_decoder
 
     @classmethod
     def adhoc(cls, name, factory, **kwargs):

@@ -218,11 +218,13 @@ class OpenLoopReport:
             if isinstance(value, float):
                 value = "%.3f" % value
             rows.append([key, "n/a" if value is None else str(value)])
+        # Socket arrivals have no modelled rate (qps == 0): the offered
+        # rate is whatever the external client sent, so omit it.
+        rate = " at %.0f qps" % self.spec.qps if self.spec.qps else ""
         return render_table(
             ["Metric", "Value"], rows,
-            title="Open loop: %s arrivals at %.0f qps for %.3f ms"
-                  % (self.spec.process, self.spec.qps,
-                     self.duration_ns / 1e6))
+            title="Open loop: %s arrivals%s for %.3f ms"
+                  % (self.spec.process, rate, self.duration_ns / 1e6))
 
     def __repr__(self):
         return ("OpenLoopReport(offered=%d, completed=%d, drops=%d, "

@@ -87,3 +87,8 @@ class ClusterError(ReproError):
 
 class ObsError(ReproError):
     """The observability layer (tracing/metrics/profiling) was misused."""
+
+
+class ServeError(ReproError):
+    """The socket serving front-end (repro.serve) was misconfigured,
+    or a service cannot be put behind a real socket."""

@@ -1,0 +1,15 @@
+"""Real-socket serving for deployments (see :mod:`repro.serve.spec`
+for the transport bindings and :mod:`repro.serve.server` for the
+asyncio front-end; ``python -m repro.serve.loadgen`` is the external
+uptest-style load generator)."""
+
+from repro.serve.spec import (
+    LengthPrefixDecoder, MemcachedAsciiDecoder, ServeSpec,
+    TransportBinding, hash_tag, resolve_binding,
+)
+from repro.serve.server import SocketServer
+
+__all__ = [
+    "LengthPrefixDecoder", "MemcachedAsciiDecoder", "ServeSpec",
+    "SocketServer", "TransportBinding", "hash_tag", "resolve_binding",
+]

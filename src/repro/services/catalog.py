@@ -25,6 +25,9 @@ from repro.net.packet import Frame, ip_to_int
 from repro.net.workloads import (
     dns_query_stream, memaslap_mix, ping_flood, tcp_syn_stream,
 )
+from repro.serve.spec import (
+    ServeSpec, dns_bindings, icmp_bindings, memcached_bindings,
+)
 from repro.services.dns_server import DnsServerService
 from repro.services.filter_l3l4 import FilteringSwitch, FilterRule
 from repro.services.icmp_echo import IcmpEchoService
@@ -164,6 +167,30 @@ def filter_workload(count, seed=3, **_):
                     src_port=0).pad()
 
 
+# -- socket serving (see repro.serve) ----------------------------------------
+#
+# Request/reply services with a client-visible L7 protocol get a
+# ServeSpec; everything below it is a *network function* whose
+# semantics live in ports/MACs/raw headers that loopback sockets
+# cannot carry, so they declare serve=None (explicitly unservable)
+# rather than leaving the capability undeclared.
+
+def _serve_icmp():
+    return ServeSpec(icmp_bindings(CLIENT_IP, SERVICE_IP))
+
+
+def _serve_dns():
+    table = {name: ip_to_int("192.0.2.%d" % (index + 1))
+             for index, name in enumerate(DNS_NAMES)}
+    return ServeSpec(dns_bindings(CLIENT_IP, SERVICE_IP, table),
+                     port=5353)
+
+
+def _serve_memcached():
+    return ServeSpec(memcached_bindings(CLIENT_IP, SERVICE_IP),
+                     port=11211)
+
+
 # -- protocol clients --------------------------------------------------------
 
 def _client_from_workload(name, workload, **options):
@@ -193,6 +220,7 @@ def _build_specs():
             workload=icmp_workload,
             host_wrapper=host_icmp_echo,
             backends=_KEYED_BACKENDS,
+            serve=_serve_icmp(),
             description="ICMP echo server (§4.2)"),
         ServiceSpec(
             "tcp_ping", make_tcp_ping,
@@ -200,6 +228,7 @@ def _build_specs():
             workload=tcp_ping_workload,
             host_wrapper=host_tcp_ping,
             backends=_KEYED_BACKENDS,
+            serve=None,  # replies are raw SYN-ACKs, not an L7 payload
             description="TCP reachability responder (§4.2)"),
         ServiceSpec(
             "dns", make_dns,
@@ -207,6 +236,7 @@ def _build_specs():
             workload=dns_workload,
             host_wrapper=host_dns,
             backends=_KEYED_BACKENDS,
+            serve=_serve_dns(),
             description="non-recursive DNS server (§4.3)"),
         ServiceSpec(
             "memcached", make_memcached,
@@ -217,6 +247,7 @@ def _build_specs():
             host_wrapper=host_memcached,
             has_kernel=True,
             backends=_KEYED_BACKENDS,
+            serve=_serve_memcached(),
             description="Memcached server (§4.3, §5.4)"),
         ServiceSpec(
             "nat", make_nat,
@@ -226,12 +257,14 @@ def _build_specs():
             host_wrapper=host_nat,
             has_kernel=True,
             backends=_PORT_BACKENDS,
+            serve=None,  # two-sided gateway: needs real port spaces
             description="UDP/TCP NAT gateway (§4.4)"),
         ServiceSpec(
             "switch", make_switch,
             client=_client_from_workload("switch", switch_workload),
             workload=switch_workload,
             backends=_PORT_BACKENDS,
+            serve=None,  # floods across ports; no socket equivalent
             description="L2 learning switch (§4.1, Fig. 2)"),
         ServiceSpec(
             "filter", make_filter,
@@ -239,5 +272,6 @@ def _build_specs():
             workload=filter_workload,
             has_kernel=True,
             backends=_PORT_BACKENDS,
+            serve=None,  # port-semantics filter; netsim only
             description="L3/L4 filter + learning switch (§4.1)"),
     ]

@@ -1,0 +1,227 @@
+"""The external load generator: verification verdicts, exit codes,
+and artifact shapes.
+
+The hostile tests are the uptest scenarios: a tampering middlebox
+(replies arrive but are not the oracle's bytes) must exit 17 with
+``verify_failures`` in the TSV summary; a blackhole must exit 13; an
+unreachable server must exit 7.  The clean tests drive a real served
+deployment over loopback and demand zero failures end to end.
+"""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.deploy import deploy
+from repro.obs.validate import (
+    validate_loadgen_tsv, validate_report,
+)
+from repro.serve.loadgen import (
+    FAILURE_EXIT_CODE, INTERCEPTION_EXIT_CODE, LOSS_EXIT_CODE,
+    LoadGenConfig, run_loadgen,
+)
+
+SEED = 0x5E33E            # change deliberately, never casually
+
+
+@pytest.fixture
+def served_memcached():
+    dep = deploy("memcached").on("cpu").start()
+    server = dep.serve()
+    yield dep, server
+    server.stop()
+    dep.stop()
+
+
+def config_for(server, **overrides):
+    host, port = server.address
+    options = {"mode": "closed", "requests": 20, "seed": SEED,
+               "timeout_s": 5.0}
+    options.update(overrides)
+    return LoadGenConfig("memcached", host, port, **options)
+
+
+# -- clean runs against a real served deployment -----------------------------
+
+def test_closed_loop_udp_clean_run_verifies_everything(
+        served_memcached):
+    _, server = served_memcached
+    result = run_loadgen(config_for(server))
+    assert result.exit_code == 0
+    assert result.ok == 20
+    assert result.verify_failures == 0
+    assert result.lost == 0
+    assert len(result.latencies_ns) == 20
+
+
+def test_open_loop_udp_clean_run_and_artifacts(served_memcached):
+    _, server = served_memcached
+    result = run_loadgen(config_for(
+        server, mode="open", qps=2000.0, duration_s=0.25))
+    assert result.exit_code == 0, result.summary()
+    assert result.ok == result.sent > 0
+    assert validate_loadgen_tsv(result.to_tsv()) == []
+    assert validate_report(result.report()) == []
+    report = result.report()
+    assert report["verify_failures"] == 0
+    assert report["process"] == "loadgen-open"
+
+
+def test_closed_loop_tcp_clean_run(served_memcached):
+    dep, _ = served_memcached
+    tcp_server = dep.serve(transport="tcp")
+    try:
+        result = run_loadgen(config_for(
+            tcp_server, transport="tcp", requests=15))
+        assert result.exit_code == 0, result.summary()
+        assert result.ok == 15
+    finally:
+        tcp_server.stop()
+
+
+def test_tsv_footer_carries_the_verification_counters(
+        served_memcached):
+    _, server = served_memcached
+    result = run_loadgen(config_for(server, requests=5))
+    footer = {line.lstrip("# ").split("\t")[0]:
+              line.lstrip("# ").split("\t")[1]
+              for line in result.to_tsv().splitlines()
+              if line.startswith("#")}
+    assert footer["verify_failures"] == "0"
+    assert footer["ok"] == "5"
+    assert footer["exit_code"] == "0"
+    assert footer["service"] == "memcached"
+
+
+# -- hostile servers (the uptest verdicts) -----------------------------------
+
+def _hostile_udp_server(respond):
+    """A datagram server thread answering with *respond(data)*;
+    returns (port, stop_callable)."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    sock.bind(("127.0.0.1", 0))
+    sock.settimeout(0.2)
+    port = sock.getsockname()[1]
+    stopping = threading.Event()
+
+    def serve():
+        while not stopping.is_set():
+            try:
+                data, addr = sock.recvfrom(65535)
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            reply = respond(data)
+            if reply is not None:
+                sock.sendto(reply, addr)
+        sock.close()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+
+    def stop():
+        stopping.set()
+        thread.join(timeout=5)
+
+    return port, stop
+
+
+def test_tampered_replies_exit_interception():
+    port, stop = _hostile_udp_server(
+        lambda data: b"TAMPERED" + data[:16])
+    try:
+        result = run_loadgen(LoadGenConfig(
+            "memcached", "127.0.0.1", port, mode="closed",
+            requests=5, seed=SEED, timeout_s=2.0))
+    finally:
+        stop()
+    assert result.exit_code == INTERCEPTION_EXIT_CODE
+    assert result.verify_failures > 0
+    assert "verify_failures\t%d" % result.verify_failures \
+        in result.to_tsv()
+    assert validate_loadgen_tsv(result.to_tsv()) == []
+
+
+def test_truncated_replies_exit_interception():
+    port, stop = _hostile_udp_server(lambda data: data[:10])
+    try:
+        result = run_loadgen(LoadGenConfig(
+            "memcached", "127.0.0.1", port, mode="closed",
+            requests=5, seed=SEED, timeout_s=2.0))
+    finally:
+        stop()
+    assert result.exit_code == INTERCEPTION_EXIT_CODE
+    assert result.verify_failures > 0
+
+
+def test_blackholed_replies_exit_loss():
+    port, stop = _hostile_udp_server(lambda data: None)
+    try:
+        result = run_loadgen(LoadGenConfig(
+            "memcached", "127.0.0.1", port, mode="closed",
+            requests=3, seed=SEED, timeout_s=0.3))
+    finally:
+        stop()
+    assert result.exit_code == LOSS_EXIT_CODE
+    assert result.lost == 3
+    assert result.ok == 0
+
+
+def test_unreachable_udp_port_exits_failure():
+    probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()                        # nothing listens here now
+    result = run_loadgen(LoadGenConfig(
+        "memcached", "127.0.0.1", port, mode="closed", requests=3,
+        seed=SEED, timeout_s=0.5))
+    assert result.exit_code == FAILURE_EXIT_CODE
+    assert result.ok == 0
+    assert result.connect_failures > 0
+
+
+def test_unreachable_tcp_port_exits_failure():
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    result = run_loadgen(LoadGenConfig(
+        "memcached", "127.0.0.1", port, transport="tcp",
+        mode="closed", requests=3, seed=SEED, timeout_s=0.5))
+    assert result.exit_code == FAILURE_EXIT_CODE
+    assert result.connect_failures == 1
+    assert result.sent == 0
+
+
+# -- the real subprocess path ------------------------------------------------
+
+def test_loadgen_subprocess_writes_valid_artifacts(
+        served_memcached, tmp_path):
+    _, server = served_memcached
+    host, port = server.address
+    tsv_path = tmp_path / "latency.tsv"
+    json_path = tmp_path / "report.json"
+    env = dict(os.environ)
+    root = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    env["PYTHONPATH"] = os.path.join(root, "src")
+    process = subprocess.run(
+        [sys.executable, "-m", "repro.serve.loadgen",
+         "--service", "memcached", "--host", host,
+         "--port", str(port), "--mode", "closed",
+         "--requests", "10", "--seed", str(SEED),
+         "--tsv", str(tsv_path), "--json", str(json_path)],
+        env=env, capture_output=True, text=True, timeout=120)
+    assert process.returncode == 0, process.stdout + process.stderr
+    assert "verify_failures=0" in process.stdout
+    assert validate_loadgen_tsv(tsv_path.read_text()) == []
+    report = json.loads(json_path.read_text())
+    assert validate_report(report) == []
+    assert report["replies"] == 10
+    assert report["exit_code"] == 0

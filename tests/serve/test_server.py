@@ -1,0 +1,273 @@
+"""SocketServer: real-loopback round trips, robustness against
+hostile bytes, and observability parity with the in-process path.
+
+Every test binds an ephemeral loopback port (``port=0``), talks to it
+with plain stdlib sockets, and verifies replies byte-for-byte against
+the binding's probe oracle.  The garbage tests reuse the protocol
+fuzz-corpus idiom (seeded ``random.Random`` streams): hostile
+datagrams must surface as counted ``service_drops``, never as an
+unhandled exception or a wedged server.
+"""
+
+import json
+import random
+import socket
+
+import pytest
+
+from repro.deploy import deploy
+from repro.errors import ServeError
+from repro.obs.slo import SloSpec
+from repro.obs.validate import (
+    validate_alert_log, validate_trace, validate_tsv,
+)
+from repro.serve.server import SocketServer
+from repro.serve.spec import resolve_binding
+from repro.services.catalog import registry
+
+SEED = 0x5E22E            # change deliberately, never casually
+
+
+def rng_for(name):
+    return random.Random("%s/%s" % (SEED, name))
+
+
+def udp_client(server):
+    sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    sock.connect(server.address)
+    sock.settimeout(5.0)
+    return sock
+
+
+def roundtrip(sock, binding, seed, seq):
+    payload, expected = binding.probe(seed, seq)
+    sock.send(binding.wrap(payload))
+    data = sock.recv(65535)
+    assert data == bytes(binding.wrap_reply(expected)), seq
+    return data
+
+
+@pytest.fixture
+def served_memcached():
+    dep = deploy("memcached").on("cpu").start()
+    server = dep.serve()
+    yield dep, server
+    server.stop()
+    dep.stop()
+
+
+# -- round trips -------------------------------------------------------------
+
+def test_udp_memcached_roundtrip_byte_for_byte(served_memcached):
+    dep, server = served_memcached
+    binding = resolve_binding(dep.spec, "udp")
+    with udp_client(server) as sock:
+        for seq in range(32):
+            roundtrip(sock, binding, SEED, seq)
+    snapshot = server.report.snapshot()
+    assert snapshot["replies"] == 32
+    assert snapshot["service_drops"] == 0
+    assert snapshot["queue_drops"] == 0
+
+
+def test_tcp_dns_roundtrip_with_fragmented_writes():
+    dep = deploy("dns").on("cpu").start()
+    server = dep.serve(transport="tcp")
+    binding = resolve_binding(dep.spec, "tcp")
+    rng = rng_for("tcp-fragments")
+    try:
+        with socket.create_connection(server.address, timeout=5.0) \
+                as sock:
+            buffer = b""
+            for seq in range(16):
+                payload, expected = binding.probe(SEED, seq)
+                wire = bytes(binding.wrap(payload))
+                while wire:                  # drip-feed the stream
+                    step = rng.randrange(1, 5)
+                    sock.sendall(wire[:step])
+                    wire = wire[step:]
+                want = bytes(binding.wrap_reply(expected))
+                while len(buffer) < len(want):
+                    buffer += sock.recv(65536)
+                assert buffer[:len(want)] == want, seq
+                buffer = buffer[len(want):]
+    finally:
+        server.stop()
+        dep.stop()
+
+
+def test_udp_serving_over_cluster_backend():
+    dep = deploy("memcached").on("cluster", shards=4).start()
+    server = dep.serve()
+    binding = resolve_binding(dep.spec, "udp")
+    try:
+        with udp_client(server) as sock:
+            for seq in range(24):
+                roundtrip(sock, binding, "cluster-seed", seq)
+        assert server.report.snapshot()["servers"] == 4
+    finally:
+        server.stop()
+        dep.stop()
+
+
+def test_port_zero_binds_ephemeral_and_reports_address(
+        served_memcached):
+    _, server = served_memcached
+    host, port = server.address
+    assert host == "127.0.0.1"
+    assert port > 0
+
+
+# -- robustness against hostile bytes ----------------------------------------
+
+def test_garbage_datagram_flood_counts_drops_and_never_wedges(
+        served_memcached):
+    dep, server = served_memcached
+    binding = resolve_binding(dep.spec, "udp")
+    rng = rng_for("garbage-flood")
+    short = 0
+    with udp_client(server) as sock:
+        for _ in range(200):
+            length = rng.randrange(0, 256)
+            if length < 8:               # unframeable: can never reply
+                short += 1
+            sock.send(bytes(rng.randrange(256)
+                            for _ in range(length)))
+        # The server must still answer a well-formed probe afterwards
+        # (skipping stale ERROR replies the flood provoked).
+        payload, expected = binding.probe(SEED, 0)
+        want = bytes(binding.wrap_reply(expected))
+        sock.send(binding.wrap(payload))
+        while sock.recv(65535) != want:
+            pass
+    assert short > 0                     # the seeded corpus has both
+    snapshot = server.report.snapshot()
+    # Every hostile datagram is accounted for — an ERROR reply (the
+    # bytes happened to frame) or a counted drop — nothing vanishes
+    # and nothing wedges.
+    assert snapshot["offered"] == 201
+    assert snapshot["completed"] == 201
+    assert snapshot["replies"] + snapshot["service_drops"] == 201
+    assert snapshot["service_drops"] >= short
+    assert dep.metrics.registry.counter("service_drops").value \
+        == snapshot["service_drops"]
+
+
+def test_oversized_datagram_is_a_counted_drop(served_memcached):
+    dep, server = served_memcached
+    binding = resolve_binding(dep.spec, "udp")
+    with udp_client(server) as sock:
+        sock.send(b"A" * (binding.max_payload + 1))
+        roundtrip(sock, binding, SEED, 7)
+    assert server.report.snapshot()["service_drops"] == 1
+
+
+def test_tcp_garbage_stream_drops_peer_but_serves_next_connection():
+    dep = deploy("memcached").on("cpu").start()
+    server = dep.serve(transport="tcp")
+    binding = resolve_binding(dep.spec, "tcp")
+    rng = rng_for("tcp-garbage")
+    try:
+        with socket.create_connection(server.address, timeout=5.0) \
+                as hostile:
+            # A CRLF-less flood past the framing cap: the decoder
+            # raises, the server drops this peer.
+            hostile.sendall(bytes(rng.randrange(1, 255)
+                                  for _ in range(8192)))
+            assert hostile.recv(65536) == b""      # closed on us
+        with socket.create_connection(server.address, timeout=5.0) \
+                as polite:
+            payload, expected = binding.probe(SEED, 3)
+            polite.sendall(bytes(binding.wrap(payload)))
+            want = bytes(binding.wrap_reply(expected))
+            buffer = b""
+            while len(buffer) < len(want):
+                buffer += polite.recv(65536)
+            assert buffer == want
+        assert server.report.snapshot()["service_drops"] >= 1
+    finally:
+        server.stop()
+        dep.stop()
+
+
+# -- capability errors (fail fast, never hang) -------------------------------
+
+def test_serving_unservable_service_raises_serve_error():
+    dep = deploy("switch").on("cpu").start()
+    try:
+        with pytest.raises(ServeError, match="netsim"):
+            dep.serve()
+    finally:
+        dep.stop()
+
+
+def test_serving_unstarted_deployment_raises_serve_error():
+    dep = deploy("memcached")
+    with pytest.raises(Exception):
+        SocketServer(dep)
+
+
+def test_serving_undeclared_transport_raises_serve_error():
+    dep = deploy("icmp").on("cpu").start()
+    try:
+        with pytest.raises(ServeError, match="udp"):
+            dep.serve(transport="tcp")
+    finally:
+        dep.stop()
+
+
+# -- observability parity with the in-process open-loop path -----------------
+
+def test_served_trace_has_the_open_loop_span_families(tmp_path):
+    dep = deploy("memcached").on("cpu").with_trace() \
+        .with_timeseries(window_us=50_000).start()
+    server = dep.serve()
+    binding = resolve_binding(dep.spec, "udp")
+    try:
+        with udp_client(server) as sock:
+            for seq in range(20):
+                roundtrip(sock, binding, SEED, seq)
+    finally:
+        server.stop()
+        dep.stop()
+    document = json.loads(dep.tracer.to_json())
+    assert validate_trace(document) == []
+    assert validate_tsv(dep.tracer.to_tsv()) == []
+    names = {event.get("name") for event in document["traceEvents"]
+             if event.get("ph") == "X"}
+    assert "request" in names
+    assert "queue" in names
+    assert "kernel" in names
+    assert len(dep.timeseries) >= 1
+    window_offered = sum(window.offered
+                         for window in dep.timeseries.rows)
+    assert window_offered == 20
+
+
+def test_served_slo_fires_on_garbage_flood_and_log_validates():
+    slo = SloSpec("served-slo", window_us=20_000) \
+        .error_ratio(0.01)
+    slo.rule("page", 1.0, 1, 2)          # replaces the default rules
+    dep = deploy("memcached").on("cpu").with_slo(slo).start()
+    server = dep.serve()
+    binding = resolve_binding(dep.spec, "udp")
+    rng = rng_for("slo-garbage")
+    try:
+        with udp_client(server) as sock:
+            for seq in range(10):
+                roundtrip(sock, binding, SEED, seq)
+            for _ in range(150):
+                # < 8 bytes: unframeable, guaranteed service drops.
+                sock.send(bytes(rng.randrange(256)
+                                for _ in range(rng.randrange(0, 8))))
+            roundtrip(sock, binding, SEED, 99)
+    finally:
+        server.stop()
+        dep.stop()
+    assert dep.alert_log is not None
+    document = json.loads(dep.alert_log.to_json())
+    assert validate_alert_log(document) == []
+    fired = [event for event in document["events"]
+             if event["kind"] == "fire"]
+    assert any(event["objective"].startswith("errors")
+               for event in fired)
