@@ -64,8 +64,24 @@ def test_opt_level_comparison():
         assert per_level[2]["states"] <= per_level[0]["states"], name
         assert per_level[2]["logic"] <= per_level[0]["logic"], name
         assert per_level[1]["cycles"] == per_level[0]["cycles"], name
+        # -O3 never changes the machine (pipelining is a schedule, not
+        # a rewrite): latency cycles match -O2, and when a schedule is
+        # feasible the steady-state interval is at most the latency.
+        assert per_level[3]["cycles"] == per_level[2]["cycles"], name
+        ii = per_level[3]["ii"]
+        assert per_level[3]["throughput_cycles"] == \
+            (ii if ii is not None else per_level[3]["cycles"]), name
+        if ii is not None:
+            assert ii <= per_level[3]["cycles"], name
     memcached = data["memcached GET"]
     assert memcached[2]["cycles"] <= 0.9 * memcached[0]["cycles"]
+    # Pipelining verdicts (see tests/kiwi/test_pipeline.py): the three
+    # multi-state kernels without loops or budget pressure overlap at
+    # II=1; the rest honestly refuse.
+    for name in ("memcached GET", "NAT outbound", "ICMP echo"):
+        assert data[name][3]["ii"] == 1, name
+    for name in ("switch", "DNS", "L3/L4 filter"):
+        assert data[name][3]["ii"] is None, name
 
 
 def test_bench_compile_at_o2(benchmark):

@@ -25,6 +25,13 @@ Two gates, both written to ``BENCH_engine.json`` at the repo root
 * ``BATCH_FLOOR`` (>= 5x): batched engine vs *scalar engine* — failing
   means the lockstep SoA path has collapsed back to per-request
   dispatch.
+
+A third gate, ``PIPELINE_FLOOR`` (>= 1.5x), is *modeled* rather than
+wall-clock (so it is deterministic): the FPGA target's sustainable
+``max_qps`` on the memcached kernel at ``-O3`` (II-pipelined core,
+steady-state completion interval) against ``-O2`` (fused but
+one-request-at-a-time core), written as the ``pipelined_vs_fused``
+record.
 """
 
 import json
@@ -39,6 +46,7 @@ from repro.services.memcached import memcached_kernel
 
 FLOOR = 5.0
 BATCH_FLOOR = 5.0
+PIPELINE_FLOOR = 1.5
 BATCH = 64
 ROUNDS = 5
 PASSES = 3
@@ -228,3 +236,70 @@ def test_batched_engine_speedup_on_memcached_kernel():
     assert speedup >= BATCH_FLOOR, (
         "batched engine regressed to %.2fx (< %.0fx floor); see %s"
         % (speedup, BATCH_FLOOR, BENCH_PATH))
+
+
+def test_pipelined_max_qps_on_memcached_kernel():
+    """Modeled throughput gate: the -O3 pipelined memcached core must
+    sustain >= ``PIPELINE_FLOOR`` x the -O2 fused core's ``max_qps``.
+
+    Deterministic by construction — both sides are closed-form device
+    models (steady-state completion interval vs full per-request
+    service time), so there is nothing to deflake.  Measured on the
+    compact ~80 B binary GET (the latency-critical shape) and on the
+    full 512 B buffer; both must clear the floor.
+    """
+    from repro.net.packet import Frame
+    from repro.services.memcached import MemcachedService
+    from repro.targets.fpga import FpgaTarget
+
+    key = b"abc123"
+    raw_set = bytes(memcached_binary_frame(1, key, bytes(range(8))))
+    raw_get = bytes(memcached_binary_frame(0, key))
+    shapes = {
+        "get-compact-%dB" % (74 + len(key)): raw_get[:74 + len(key)],
+        "get-full-512B": raw_get,
+    }
+
+    def target_at(opt_level):
+        target = FpgaTarget(MemcachedService(MY_IP), seed=7,
+                            opt_level=opt_level)
+        target.send(Frame(raw_set, src_port=0))   # warm: GETs hit
+        return target
+
+    fused, piped = target_at(2), target_at(3)
+    assert fused.core_interval_cycles is None
+    assert piped.core_interval_cycles == 1
+
+    record = {
+        "kernel": "memcached",
+        "core_ii": piped.core_interval_cycles,
+        "floor": PIPELINE_FLOOR,
+        "shapes": {},
+    }
+    rows = []
+    for name, raw in sorted(shapes.items()):
+        qps_fused = fused.max_qps(Frame(raw, src_port=0))
+        qps_piped = piped.max_qps(Frame(raw, src_port=0))
+        ratio = qps_piped / qps_fused
+        record["shapes"][name] = {
+            "fused_qps": round(qps_fused, 1),
+            "pipelined_qps": round(qps_piped, 1),
+            "ratio": round(ratio, 2),
+        }
+        rows.append([name, "%.2f" % (qps_fused / 1e6),
+                     "%.2f" % (qps_piped / 1e6), "%.2fx" % ratio])
+    _record("pipelined_vs_fused", record)
+
+    print()
+    print(render_table(
+        ["Request shape", "-O2 fused (Mqps)", "-O3 pipelined (Mqps)",
+         "Ratio"],
+        rows,
+        title="Pipelined max_qps: memcached kernel (floor >= %.1fx)"
+              % PIPELINE_FLOOR))
+
+    for name, shape in record["shapes"].items():
+        assert shape["ratio"] >= PIPELINE_FLOOR, (
+            "pipelined max_qps only %.2fx fused on %s (< %.1fx floor); "
+            "see %s" % (shape["ratio"], name, PIPELINE_FLOOR,
+                        BENCH_PATH))

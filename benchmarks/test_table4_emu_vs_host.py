@@ -75,6 +75,12 @@ def test_table4_opt_level_rows_differ():
     assert opt.emu_avg_us < unopt.emu_avg_us
     assert opt.emu_mqps > unopt.emu_mqps
 
+    # -O3: pipelining leaves per-request latency at the -O2 figure but
+    # lifts throughput — requests overlap in the core every II cycles.
+    piped = memcached_row(3)
+    assert piped.emu_avg_us == opt.emu_avg_us
+    assert piped.emu_mqps > 1.5 * opt.emu_mqps
+
     # A service without a kernel model silently keeps behavioural
     # counting (the fallback inside measure_service).
     name, factory, host, workload = _service_workloads(100)[0]  # ICMP

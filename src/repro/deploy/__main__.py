@@ -38,7 +38,15 @@ def _parser():
                         help="cpu | fpga | multicore | cluster | netsim")
     parser.add_argument("--opt", type=int, default=None,
                         help="Kiwi opt level for compiled-kernel cycle "
-                             "counting (0, 1 or 2)")
+                             "counting (0, 1, 2 or 3; 3 adds "
+                             "initiation-interval pipelining, which "
+                             "raises modeled max_qps)")
+    parser.add_argument("--level-budget", type=int, default=None,
+                        help="timing budget in logic levels per cycle "
+                             "for -O2 fusion and -O3 pipelining "
+                             "(default 48; tighter budgets block "
+                             "fusion/pipelining rather than "
+                             "mis-reporting timing)")
     parser.add_argument("--batch", type=int, default=None,
                         help="lockstep batch width for the compiled "
                              "engine (cycle models run N requests per "
@@ -203,8 +211,12 @@ def main(argv=None):
     dep = deploy(args.service).on(args.backend,
                                   **_backend_kwargs(args))
     dep.with_seed(args.seed)
+    if args.level_budget is not None and args.opt is None:
+        print("--level-budget needs --opt (the budget bounds the "
+              "compiled kernel's schedule)", file=sys.stderr)
+        return 2
     if args.opt is not None:
-        dep.with_opt(args.opt)
+        dep.with_opt(args.opt, level_budget=args.level_budget)
     if args.batch is not None:
         dep.with_batch(args.batch)
     if args.arrivals is not None:

@@ -266,6 +266,14 @@ class Backend:
             return None
         return self.config.batch
 
+    def _effective_level_budget(self):
+        """The timing budget (logic levels per cycle) compiled cycle
+        models are built with — only meaningful when an opt level is
+        honoured (without one nothing is compiled)."""
+        if self.effective_opt is None:
+            return None
+        return self.config.level_budget
+
 
 @register_backend("cpu")
 class CpuBackend(Backend):
@@ -300,7 +308,8 @@ class FpgaBackend(Backend):
                                  num_ports=self.config.get("ports", 4),
                                  seed=self.config.seed,
                                  opt_level=self.effective_opt,
-                                 batch=self._effective_batch())
+                                 batch=self._effective_batch(),
+                                 level_budget=self._effective_level_budget())
         return self
 
     def send(self, frame):
@@ -369,7 +378,8 @@ class MultiCoreBackend(Backend):
             seed=self.config.seed,
             is_write=self.config.get("is_write", self.spec.is_write),
             opt_level=self.effective_opt,
-            batch=self._effective_batch())
+            batch=self._effective_batch(),
+            level_budget=self._effective_level_budget())
         self._pending_cycles = []
         return self
 
@@ -452,7 +462,8 @@ class ClusterBackend(Backend):
             seed=config.seed,
             suspect_after=config.get("suspect_after", 3),
             opt_level=self.effective_opt,
-            batch=self._effective_batch())
+            batch=self._effective_batch(),
+            level_budget=self._effective_level_budget())
         return self
 
     def send(self, frame):

@@ -30,19 +30,20 @@ from repro.obs.series import TimeSeries
 from repro.obs.slo import SloMonitor, SloSpec
 from repro.obs.trace import TraceRecorder
 
-VALID_OPT_LEVELS = (None, 0, 1, 2)
+VALID_OPT_LEVELS = (None, 0, 1, 2, 3)
 
 
 class DeploymentConfig:
     """Resolved configuration handed to the backend adapter."""
 
     def __init__(self, seed=1, opt_level=None, fault_plan=None,
-                 backend_kwargs=None, batch=None):
+                 backend_kwargs=None, batch=None, level_budget=None):
         self.seed = seed
         self.opt_level = opt_level
         self.fault_plan = fault_plan
         self.backend_kwargs = dict(backend_kwargs or {})
         self.batch = batch
+        self.level_budget = level_budget
 
     def get(self, key, default=None):
         return self.backend_kwargs.get(key, default)
@@ -56,6 +57,7 @@ class Deployment:
         self._backend_name = "cpu"
         self._backend_kwargs = {}
         self._opt_level = None
+        self._level_budget = None
         self._batch = None
         self._seed = 1
         self._fault_plan = None
@@ -105,13 +107,26 @@ class Deployment:
         self._backend_kwargs = dict(backend_kwargs)
         return self
 
-    def with_opt(self, opt_level):
-        """Kiwi middle-end level for compiled-kernel cycle counting."""
+    def with_opt(self, opt_level, level_budget=None):
+        """Kiwi middle-end level for compiled-kernel cycle counting.
+
+        ``-O3`` adds the initiation-interval pipelining analysis: the
+        backend's ``max_qps`` and open-loop service model then use the
+        kernel's achieved II as the sustained service interval.
+        *level_budget* overrides the timing budget (logic levels per
+        cycle, default 48) that bounds -O2 state fusion and gates -O3
+        pipelining — a tighter budget makes the middle-end *refuse*
+        those transforms rather than mis-report timing."""
         self._require_not_started()
         if opt_level not in VALID_OPT_LEVELS:
             raise TargetError("opt_level must be one of %r"
                               % (VALID_OPT_LEVELS,))
+        if level_budget is not None:
+            level_budget = int(level_budget)
+            if level_budget < 1:
+                raise TargetError("level_budget must be >= 1 (or None)")
         self._opt_level = opt_level
+        self._level_budget = level_budget
         return self
 
     def with_batch(self, batch):
@@ -223,7 +238,8 @@ class Deployment:
                                   opt_level=self._opt_level,
                                   fault_plan=self._fault_plan,
                                   backend_kwargs=self._backend_kwargs,
-                                  batch=self._batch)
+                                  batch=self._batch,
+                                  level_budget=self._level_budget)
         backend_cls = resolve_backend(self._backend_name)
         self.backend = backend_cls(self.spec, config)
         self.backend.start()

@@ -1,0 +1,343 @@
+"""Multi-request-in-flight execution of a compiled kernel.
+
+:class:`PipelinedKernel` drives the scalar engine's generated state
+closures (:mod:`repro.engine.compiler`) with up to *depth* requests in
+flight at once, cycle by cycle, the way the pipelined hardware would:
+a new request issues every II cycles (the ``-O3`` schedule's
+initiation interval), each in-flight request owns a private register
+file and a private copy of its stream memories (the per-request
+``frame`` buffer), and warm memories stay shared.
+
+Correctness does not lean on the static schedule: every cycle, a
+younger request stalls before executing a state that
+
+* **reads** a shared memory some older in-flight request may still
+  write (read-after-write),
+* **writes** a shared memory some older request may still read or
+  write (write-after-read / write-after-write), or
+* touches a shared memory an older request is accessing *this* cycle
+  (one port per memory per cycle),
+
+where "may still" is name-level reachability over the FSM from the
+older request's current state.  The oldest request never stalls, so
+the pipeline always drains.  Requests retire strictly in issue order
+(results, stream-buffer commit, and the warm register file hand-off
+all happen at retire), which keeps final memory images byte-identical
+to sequential execution — the differential harness in
+:mod:`repro.engine.verify` proves exactly that, N requests in flight
+against the sequential ``-O0`` engine.
+
+When the kernel has no feasible schedule (data-dependent loops, stale
+register observables, timing budget), the same loop degrades to
+serial issue — one request at a time, cycle counts identical to the
+scalar engine.
+"""
+
+from repro.errors import EngineError
+from repro.engine.batch import _mems_touched
+from repro.engine.compiler import CompiledKernel, _mask
+
+
+class _Context:
+    """One in-flight request."""
+
+    __slots__ = ("job", "regs", "state", "streams", "overrides",
+                 "issue_cycle", "finish_cycle", "stalls")
+
+    def __init__(self, job, regs, state, streams):
+        self.job = job
+        self.regs = regs
+        self.state = state
+        self.streams = streams
+        self.overrides = {"m_" + name: image
+                          for name, image in streams.items()}
+        self.issue_cycle = 0
+        self.finish_cycle = None
+        self.stalls = 0
+
+    @property
+    def finished(self):
+        return self.state == 0
+
+
+class PipelinedKernel:
+    """A compiled kernel executed with overlapping requests.
+
+    Wraps a scalar :class:`~repro.engine.compiler.CompiledKernel`
+    (same generated closures, same warm memories) and adds
+    :meth:`run_stream`.  The scalar ``run`` surface stays available
+    for warm-up / mixed use.
+    """
+
+    def __init__(self, design, depth=None, schedule=None):
+        self._scalar = CompiledKernel(design)
+        self.design = design
+        self.spec = design.spec
+        self.opt_level = design.opt_level
+        if schedule is None:
+            schedule = getattr(design.fsm, "pipeline_schedule", None)
+        self.schedule = schedule
+        feasible = schedule is not None and schedule.feasible
+        #: Issue interval in cycles (None: serial issue).
+        self.ii = schedule.initiation_interval if feasible else None
+        if depth is None:
+            depth = (-(-schedule.latency_cycles // self.ii)
+                     if feasible else 1)
+        self.depth = max(1, int(depth))
+        mem_names = set(self._scalar._mem_names)
+        if feasible:
+            streams = [name for name in schedule.stream_memories
+                       if name in mem_names]
+        else:
+            from repro.kiwi.opt.pipeline import DEFAULT_STREAM_MEMORIES
+            streams = [name for name in DEFAULT_STREAM_MEMORIES
+                       if name in mem_names]
+        self.stream_memories = tuple(streams)
+        self._build_hazard_sets()
+        #: Cycle numbers at which requests retired, for steady-state
+        #: throughput measurement across one :meth:`run_stream` call.
+        self.retire_cycles = []
+        self.stall_cycles = 0
+        #: Most requests simultaneously in flight during the last
+        #: stream — differential callers assert this is > 1 so the
+        #: check cannot pass without ever overlapping requests.
+        self.peak_in_flight = 0
+
+    def _build_hazard_sets(self):
+        """Name-level per-state access sets and their reachability
+        closure (the "may still touch" relation hazard stalls use)."""
+        fsm = self.design.fsm
+        stream_set = set(self.stream_memories)
+        count = len(fsm.states)
+        self._reads = [frozenset()] * count
+        self._writes = [frozenset()] * count
+        for state in fsm.states:
+            if state is fsm.idle:
+                continue
+            read, written = _mems_touched(state)
+            self._reads[state.index] = frozenset(read - stream_set)
+            self._writes[state.index] = frozenset(written - stream_set)
+        reads_reach = [set(s) for s in self._reads]
+        writes_reach = [set(s) for s in self._writes]
+        changed = True
+        while changed:
+            changed = False
+            for state in fsm.states:
+                if state is fsm.idle:
+                    continue
+                index = state.index
+                for succ in fsm.successors(state):
+                    if succ is fsm.idle:
+                        continue
+                    for acc, reach in ((reads_reach, reads_reach),
+                                       (writes_reach, writes_reach)):
+                        before = len(acc[index])
+                        acc[index] |= reach[succ.index]
+                        if len(acc[index]) != before:
+                            changed = True
+        self._reads_reach = [frozenset(s) for s in reads_reach]
+        self._writes_reach = [frozenset(s) for s in writes_reach]
+
+    # -- scalar surface (delegation) ----------------------------------------
+
+    @property
+    def name(self):
+        return self._scalar.name
+
+    def run(self, **kwargs):
+        return self._scalar.run(**kwargs)
+
+    def reset(self):
+        self._scalar.reset()
+
+    def load_memory(self, name, contents):
+        self._scalar.load_memory(name, contents)
+
+    def poke_memory(self, name, addr, value):
+        self._scalar.poke_memory(name, addr, value)
+
+    def peek_memory(self, name, addr):
+        return self._scalar.peek_memory(name, addr)
+
+    def memory_image(self, name):
+        return self._scalar.memory_image(name)
+
+    # -- pipelined execution ------------------------------------------------
+
+    def _issue(self, job, cycle):
+        """Latch one request into a fresh context (the idle cycle)."""
+        scalar = self._scalar
+        scalars, memories = job
+        for name, value in scalars.items():
+            width = scalar._scalar_widths.get(name)
+            if width is None:
+                raise EngineError("kernel %r has no scalar %r"
+                                  % (self.name, name))
+            scalar._inputs[name] = value & _mask(width)
+        streams = {}
+        for name in self.stream_memories:
+            depth = scalar._mem_depths[name]
+            width_mask = _mask(scalar._mem_widths[name])
+            image = memories.get(name)
+            if image is None:
+                # Unloaded stream buffer: the request sees whatever
+                # the shared memory holds right now (nothing else is
+                # in flight writing it — it is a stream memory).
+                streams[name] = list(scalar._mems[name])
+            else:
+                streams[name] = [value & width_mask for value in image]
+        for name in memories:
+            if name not in self.stream_memories:
+                raise EngineError(
+                    "per-request image for shared memory %r: only "
+                    "stream memories %r may be loaded per request "
+                    "in pipelined execution"
+                    % (name, list(self.stream_memories)))
+            if len(streams[name]) != scalar._mem_depths[name]:
+                raise EngineError(
+                    "pipelined stream memory %r needs a full %d-word "
+                    "image (got %d words)"
+                    % (name, scalar._mem_depths[name],
+                       len(streams[name])))
+        regs = list(scalar._regs)
+        for name, slot in zip(scalar._latch_names, scalar._latch_slots):
+            regs[slot] = scalar._inputs[name]
+        entry = self.design.fsm.idle.transition.if_true.index
+        context = _Context(job, tuple(regs), entry, streams)
+        context.issue_cycle = cycle
+        return context
+
+    def _may_conflict(self, context, older):
+        """Must *context* hold back this cycle because of *older*?"""
+        state = context.state
+        need_r = self._reads[state]
+        need_w = self._writes[state]
+        if not need_r and not need_w:
+            return False
+        older_state = older.state
+        if need_r & self._writes_reach[older_state]:
+            return True                                  # RAW
+        if need_w & (self._writes_reach[older_state] |
+                     self._reads_reach[older_state]):
+            return True                                  # WAW / WAR
+        return False
+
+    def run_stream(self, jobs, max_cycles=1000000):
+        """Execute *jobs* (``(scalars, memories)`` pairs, like
+        ``run_batch``) with up to :attr:`depth` in flight.
+
+        Returns one ``(results, latency_cycles, stream_images)`` per
+        job, in job order: the result tuple, the issue-to-retire cycle
+        count (latch cycle included, stall cycles included), and the
+        request's final private stream-memory images (the mutated
+        ``frame`` — i.e. the reply bytes).  Warm memories and the
+        register file are handed over in issue order, so after the
+        stream the shared state matches sequential execution of the
+        same jobs.
+        """
+        jobs = list(jobs)
+        out = []
+        self.retire_cycles = []
+        self.stall_cycles = 0
+        self.peak_in_flight = 0
+        active = []                    # oldest first
+        next_job = 0
+        last_issue = None
+        cycle = 0
+        table = self._scalar._namespace["_STATES"]
+        has_regs = bool(self._scalar._reg_names)
+        while len(out) < len(jobs):
+            cycle += 1
+            if cycle > max_cycles:
+                raise EngineError(
+                    "pipelined stream on %r did not finish in %d "
+                    "cycles" % (self.name, max_cycles))
+            # Phase 1: stall decisions against start-of-cycle states,
+            # oldest first; one claim per shared memory per cycle.
+            stepping = []
+            claimed = set()
+            for position, context in enumerate(active):
+                if context.finished:
+                    continue
+                stall = False
+                for older in active[:position]:
+                    if not older.finished and \
+                            self._may_conflict(context, older):
+                        stall = True
+                        break
+                if not stall:
+                    touched = (self._reads[context.state] |
+                               self._writes[context.state])
+                    if touched & claimed:
+                        stall = True
+                    else:
+                        claimed |= touched
+                if stall:
+                    context.stalls += 1
+                    self.stall_cycles += 1
+                else:
+                    stepping.append(context)
+            # Phase 2: execute.  No two stepping contexts touch the
+            # same shared memory this cycle, so order is immaterial.
+            for context in stepping:
+                fn = table[context.state]
+                if has_regs:
+                    result = fn(*context.regs, **context.overrides)
+                    context.regs = result[:-1]
+                    context.state = result[-1]
+                else:
+                    context.state = fn(**context.overrides)
+                if context.finished:
+                    context.finish_cycle = cycle
+            # Phase 3: retire strictly in issue order.
+            while active and active[0].finished:
+                context = active.pop(0)
+                scalar = self._scalar
+                for name, image in context.streams.items():
+                    scalar._mems[name][:] = image
+                scalar._regs = tuple(context.regs)
+                scalar.invocations += 1
+                results = tuple(context.regs[slot]
+                                for slot in scalar._result_slots)
+                latency = 1 + context.finish_cycle - context.issue_cycle
+                out.append((results, latency,
+                            {name: list(image) for name, image
+                             in context.streams.items()}))
+                self.retire_cycles.append(cycle)
+            # Phase 4: issue (this cycle is the new request's latch
+            # cycle; it executes its entry state next cycle).
+            if next_job < len(jobs) and len(active) < self.depth:
+                due = (last_issue is None or
+                       (self.ii is not None and
+                        cycle - last_issue >= self.ii) or
+                       (self.ii is None and not active))
+                if due:
+                    active.append(self._issue(jobs[next_job], cycle))
+                    next_job += 1
+                    last_issue = cycle
+            in_flight = sum(1 for context in active
+                            if not context.finished)
+            if in_flight > self.peak_in_flight:
+                self.peak_in_flight = in_flight
+        return out
+
+    def measured_interval(self):
+        """Average cycles between retires over the last stream — the
+        executor's own steady-state II (equals the schedule's II once
+        the pipeline is warm and hazard-free)."""
+        retires = self.retire_cycles
+        if len(retires) < 2:
+            return None
+        return (retires[-1] - retires[0]) / float(len(retires) - 1)
+
+
+def compile_pipelined(fn, opt_level=3, name=None, depth=None,
+                      level_budget=None):
+    """Front-to-back: Kiwi-compile *fn* (``-O3`` by default) and wrap
+    the result in a :class:`PipelinedKernel`."""
+    from repro.kiwi.compiler import DEFAULT_LEVEL_BUDGET, compile_function
+    design = compile_function(
+        fn, name=name, opt_level=opt_level,
+        level_budget=DEFAULT_LEVEL_BUDGET if level_budget is None
+        else level_budget)
+    return PipelinedKernel(design, depth=depth)

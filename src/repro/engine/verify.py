@@ -297,6 +297,178 @@ def assert_batch_equivalent(fn, opt_level=0, batch=8, **kwargs):
     return report
 
 
+class PipelineReport:
+    """Outcome of one pipelined-differential session: the -O3
+    multi-request-in-flight executor against the sequential -O0
+    engine on one warm request stream."""
+
+    def __init__(self, name, opt_level, depth):
+        self.name = name
+        self.opt_level = opt_level
+        self.depth = depth
+        self.runs = 0
+        self.skipped = 0
+        self.mismatches = []
+        #: The schedule's initiation interval (None: kernel refused
+        #: pipelining and the stream ran serially).
+        self.achieved_ii = None
+        #: Most requests simultaneously in flight — callers assert
+        #: this is > 1 for pipelined kernels, so the check cannot
+        #: silently pass without ever overlapping requests.
+        self.peak_in_flight = 0
+        self.measured_interval = None
+
+    @property
+    def ok(self):
+        return not self.mismatches and self.runs > 0
+
+    def __repr__(self):
+        return ("PipelineReport(%s: depth=%d at -O%d, ii=%r, peak=%d, "
+                "%d runs, %d mismatches)"
+                % (self.name, self.depth, self.opt_level,
+                   self.achieved_ii, self.peak_in_flight, self.runs,
+                   len(self.mismatches)))
+
+
+def pipeline_differential_check(fn, opt_level=3, depth=4, requests=24,
+                                seed="engine-pipeline",
+                                max_cycles=400000, input_factory=None,
+                                deep_inputs=None, level_budget=None):
+    """Differential proof for the pipelined executor
+    (:mod:`repro.engine.pipelined`).
+
+    One warm request stream runs through the sequential ``-O0`` engine
+    and the ``-Oopt_level`` :class:`~repro.engine.pipelined.
+    PipelinedKernel` with up to *depth* requests in flight.  Warm
+    memories are seeded identically once, then each request carries
+    its own scalars and a full image of the kernel's stream buffer
+    (the ``frame``), exactly the per-request shape the cycle models
+    use.  Per-request results, per-request reply bytes (the mutated
+    stream buffer), and the final image of every memory must match;
+    latencies are exempt (overlap legitimately changes them).
+
+    The stream is split into two ``run_stream`` calls at an offset
+    that is deliberately *not* a multiple of *depth*, so the pipeline
+    drains mid-batch and restarts warm — the ragged-shutdown shape.
+    """
+    from repro.engine.compiler import compile_kernel
+    from repro.engine.pipelined import PipelinedKernel
+    from repro.kiwi.compiler import DEFAULT_LEVEL_BUDGET, compile_function
+    design = compile_function(
+        fn, opt_level=opt_level,
+        level_budget=(DEFAULT_LEVEL_BUDGET if level_budget is None
+                      else level_budget))
+    sequential = compile_kernel(fn, opt_level=0)
+    pipelined = PipelinedKernel(design, depth=depth)
+    report = PipelineReport(design.name, opt_level, depth)
+    schedule = pipelined.schedule
+    if schedule is not None and schedule.feasible:
+        report.achieved_ii = schedule.initiation_interval
+    rng = random.Random("%s/%s" % (seed, design.name))
+    make_inputs = input_factory or \
+        (lambda r: random_inputs(design.spec, r))
+    streams = set(pipelined.stream_memories)
+    mem_params = list(design.spec.memory_params)
+
+    # Identical warm seed for both legs, then per-request jobs that
+    # reload only the stream buffers.
+    warm_scalars, warm_memories = make_inputs(rng)
+    jobs = []
+    for _ in range(max(1, int(requests)) - len(list(deep_inputs or []))):
+        scalars, memories = make_inputs(rng)
+        jobs.append((scalars, {name: image
+                               for name, image in memories.items()
+                               if name in streams}))
+    for scalars, memories in (deep_inputs or []):
+        jobs.append((scalars, {name: image
+                               for name, image in memories.items()
+                               if name in streams}))
+
+    def seed_leg(kernel):
+        kernel.reset()
+        for name, image in warm_memories.items():
+            kernel.load_memory(name, list(image))
+
+    # Sequential leg first; a timeout truncates the stream for both
+    # legs so the warm comparison stays aligned.
+    seed_leg(sequential)
+    expected = []
+    for index, (scalars, memories) in enumerate(jobs):
+        try:
+            results, _, _ = sequential.run(
+                max_cycles=max_cycles,
+                memories={name: list(image)
+                          for name, image in memories.items()},
+                **scalars)
+        except EngineError:
+            report.skipped += len(jobs) - index
+            jobs = jobs[:index]
+            break
+        expected.append((results,
+                         {name: sequential.memory_image(name)
+                          for name in streams}))
+    final_expected = {name: sequential.memory_image(name)
+                      for name, _ in mem_params}
+
+    seed_leg(pipelined)
+    split = max(1, len(jobs) - max(1, depth // 2 + 1))
+    try:
+        got = list(pipelined.run_stream(jobs[:split],
+                                        max_cycles=max_cycles))
+        drained = pipelined.peak_in_flight
+        got += list(pipelined.run_stream(jobs[split:],
+                                         max_cycles=max_cycles))
+    except EngineError as exc:
+        report.mismatches.append(EngineMismatch(
+            "stream", "completed", str(exc), "timeout"))
+        return report
+    report.peak_in_flight = max(drained, pipelined.peak_in_flight)
+    report.measured_interval = pipelined.measured_interval()
+
+    report.runs = len(jobs)
+    for index, ((results, images), (p_results, _, p_images)) in \
+            enumerate(zip(expected, got)):
+        if results != p_results:
+            report.mismatches.append(EngineMismatch(
+                "request %d" % index, results, p_results, "results"))
+        elif images != p_images:
+            report.mismatches.append(EngineMismatch(
+                "request %d" % index, "(reply bytes)", "(reply bytes)",
+                "reply-bytes"))
+    for name, _ in mem_params:
+        if pipelined.memory_image(name) != final_expected[name]:
+            report.mismatches.append(EngineMismatch(
+                "final", "(memories)", name, "final-memories"))
+            break
+    return report
+
+
+def assert_pipeline_equivalent(fn, opt_level=3, depth=4,
+                               require_overlap=None, **kwargs):
+    """Raise :class:`~repro.errors.EngineError` unless the pipelined
+    executor matches the sequential ``-O0`` engine on a warm request
+    stream.  *require_overlap* (default: automatic — required exactly
+    when the kernel's schedule is feasible) additionally insists the
+    stream genuinely had more than one request in flight."""
+    report = pipeline_differential_check(fn, opt_level=opt_level,
+                                         depth=depth, **kwargs)
+    if not report.ok:
+        detail = report.mismatches[0] if report.mismatches else \
+            "no comparable runs"
+        raise EngineError(
+            "pipelined-engine verification failed for %r at -O%d "
+            "(depth=%d): %r"
+            % (report.name, opt_level, depth, detail))
+    if require_overlap is None:
+        require_overlap = report.achieved_ii is not None
+    if require_overlap and report.peak_in_flight < 2:
+        raise EngineError(
+            "pipelined-engine verification for %r never overlapped "
+            "requests (peak in flight %d)"
+            % (report.name, report.peak_in_flight))
+    return report
+
+
 def assert_engine_equivalent(fn, opt_level=0, **kwargs):
     """Raise :class:`~repro.errors.EngineError` unless the engine
     matches the interpreter; returns the report otherwise."""

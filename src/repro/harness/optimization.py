@@ -1,12 +1,17 @@
-"""Optimizing-compiler comparison: ``-O0`` vs ``-O1`` vs ``-O2``.
+"""Optimizing-compiler comparison: ``-O0`` vs ``-O1`` vs ``-O2`` vs
+``-O3``.
 
 For each service kernel this measures, per optimization level, the FSM
 state count, the worst-case logic depth, the estimated logic resources,
 and — the number everything else multiplies — the *simulated cycles for
 one representative request* on the compiled netlist (stateful kernels
 are warmed first, e.g. Memcached's GET is measured after a SET of the
-same key).  Results across levels are also cross-checked for equality,
-so the table cannot silently report a speedup from a miscompile.
+same key).  At ``-O3`` the initiation interval joins the table: the
+cycles/request column is unchanged (pipelining never touches
+per-request latency), but the sustained interval between requests
+drops to the II for kernels whose schedule is feasible.  Results
+across levels are also cross-checked for equality, so the table cannot
+silently report a speedup from a miscompile.
 
 This is the harness behind the "Optimizing compiler" benchmark rows and
 the quickstart's before/after numbers; Table 3/4 get the same effect
@@ -143,15 +148,21 @@ SERVICE_KERNELS = [
 ]
 
 
-def measure_kernel(case, opt_level, use_engine=True):
+def measure_kernel(case, opt_level, use_engine=True, level_budget=None):
     """(design, results, cycles) for one case at one level.
 
     Measured on the compiled execution engine by default
     (cycle-identical to the interpreted simulator by the engine's
     differential proof); ``use_engine=False`` falls back to the
     deprecated warm-:class:`Simulator` stepping for cross-checks.
+    *level_budget* bounds -O2 fusion and -O3 pipelining (default: the
+    compiler's 48-level budget).
     """
-    design = compile_function(case.kernel, opt_level=opt_level)
+    if level_budget is None:
+        design = compile_function(case.kernel, opt_level=opt_level)
+    else:
+        design = compile_function(case.kernel, opt_level=opt_level,
+                                  level_budget=level_budget)
     if use_engine:
         from repro.engine import compile_design
         runner = compile_design(design)
@@ -175,11 +186,15 @@ def measure_kernel(case, opt_level, use_engine=True):
     return design, results, cycles
 
 
-def run_opt_comparison(opt_levels=(0, 1, 2), cases=None):
+def run_opt_comparison(opt_levels=(0, 1, 2, 3), cases=None):
     """Measure every case at every level; returns (data, rendered text).
 
-    ``data[name][level]`` has ``states``, ``levels``, ``logic`` and
-    ``cycles``; the rendered table adds the cycle-reduction column.
+    ``data[name][level]`` has ``states``, ``levels``, ``logic``,
+    ``cycles``, ``ii`` (the -O3 initiation interval, None when the
+    level does not pipeline or the schedule is infeasible) and
+    ``throughput_cycles`` (the sustained interval between requests:
+    the II when pipelined, cycles/request otherwise); the rendered
+    table adds the cycle-reduction and II columns.
     """
     cases = SERVICE_KERNELS if cases is None else cases
     data = {}
@@ -196,11 +211,14 @@ def run_opt_comparison(opt_levels=(0, 1, 2), cases=None):
                     "optimizer broke %r: -O%d returned %r, -O%d %r"
                     % (case.name, opt_levels[0], reference, level,
                        results))
+            ii = design.timing.achieved_ii
             per_level[level] = {
                 "states": design.state_count,
                 "levels": design.timing.max_logic_levels,
                 "logic": design.resources().logic,
                 "cycles": cycles,
+                "ii": ii,
+                "throughput_cycles": ii if ii is not None else cycles,
             }
         data[case.name] = per_level
         base = per_level[opt_levels[0]]
@@ -213,10 +231,13 @@ def run_opt_comparison(opt_levels=(0, 1, 2), cases=None):
             "%d -> %d" % (base["logic"], best["logic"]),
             "%d -> %d" % (base["cycles"], best["cycles"]),
             "%.0f%%" % (100.0 * reduction),
+            "-" if best["ii"] is None else "%d" % best["ii"],
+            "%d" % best["throughput_cycles"],
         ])
     text = render_table(
         ["Service kernel", "FSM states", "Logic levels",
-         "Logic (LUT-eq)", "Cycles/request", "Cycle reduction"],
+         "Logic (LUT-eq)", "Cycles/request", "Cycle reduction",
+         "II", "Interval"],
         rows,
         title="Optimizing compiler: -O%d vs -O%d per service kernel"
               % (opt_levels[0], opt_levels[-1]))

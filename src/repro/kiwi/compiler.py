@@ -12,7 +12,12 @@ selected by ``opt_level``:
 * ``1`` (default) — resource passes only (folding, CSE, dead-register
   and unreachable-state elimination); cycle counts are untouched,
 * ``2`` — adds state fusion/retiming under the timing-level budget,
-  which reduces cycles-per-request.
+  which reduces cycles-per-request,
+* ``3`` — adds initiation-interval pipelining analysis
+  (:mod:`repro.kiwi.opt.pipeline`): per-request latency cycles stay
+  at the ``-O2`` figure, but the machine may overlap independent
+  requests every ``achieved_ii`` cycles, which the cycle models use
+  as the sustained service interval.
 
 ``verify=True`` additionally runs differential co-simulation of the
 optimized design against ``-O0`` on seeded random inputs and raises if
@@ -36,12 +41,54 @@ DEFAULT_LEVEL_BUDGET = 48
 
 class TimingReport:
     """Schedule statistics (paper §3.4: too much work per cycle and the
-    design fails timing; too little and it is inefficient)."""
+    design fails timing; too little and it is inefficient).
 
-    def __init__(self, state_count, max_logic_levels, levels_per_state):
+    At ``-O3`` the report also carries the latency-vs-throughput split
+    of the pipelining analysis: :attr:`latency_cycles` (critical-path
+    states per request) is what one request experiences, while
+    :attr:`throughput_cycles` (== :attr:`achieved_ii` when the kernel
+    pipelines) is the steady-state interval between request issues.
+    """
+
+    def __init__(self, state_count, max_logic_levels, levels_per_state,
+                 pipeline=None):
         self.state_count = state_count
         self.max_logic_levels = max_logic_levels
         self.levels_per_state = levels_per_state
+        #: The -O3 :class:`~repro.kiwi.opt.pipeline.PipelineSchedule`
+        #: (None below -O3).
+        self.pipeline = pipeline
+
+    @property
+    def achieved_ii(self):
+        """Steady-state initiation interval in cycles, or None when
+        the machine is not pipelined (below -O3, or the analysis
+        refused — loops, stale-register observables, budget)."""
+        if self.pipeline is not None and self.pipeline.feasible:
+            return self.pipeline.initiation_interval
+        return None
+
+    @property
+    def latency_cycles(self):
+        """Critical-path core states per request (None without the
+        -O3 analysis, whose DAG walk computes it)."""
+        if self.pipeline is not None:
+            return self.pipeline.latency_cycles
+        return None
+
+    @property
+    def throughput_cycles(self):
+        """Sustained cycles between request completions: the II when
+        pipelined, the full critical path when not."""
+        ii = self.achieved_ii
+        return ii if ii is not None else self.latency_cycles
+
+    def stage_occupancy(self):
+        """Pipelined states per issue-slot residue (empty when not
+        pipelined); see ``PipelineSchedule.stage_occupancy``."""
+        if self.pipeline is None:
+            return {}
+        return self.pipeline.stage_occupancy()
 
     def meets_timing(self, max_levels=48):
         """Would this schedule close timing at the target clock?
@@ -52,8 +99,12 @@ class TimingReport:
         return self.max_logic_levels <= max_levels
 
     def __repr__(self):
-        return "TimingReport(states=%d, max_levels=%d)" % (
+        text = "TimingReport(states=%d, max_levels=%d" % (
             self.state_count, self.max_logic_levels)
+        if self.achieved_ii is not None:
+            text += ", ii=%d/latency=%d" % (self.achieved_ii,
+                                            self.latency_cycles)
+        return text + ")"
 
 
 def compute_timing(fsm):
@@ -75,7 +126,8 @@ def compute_timing(fsm):
                          _expr_depth(enable, memo))
         per_state[state.index] = levels
         max_levels = max(max_levels, levels)
-    return TimingReport(fsm.state_count, max_levels, per_state)
+    return TimingReport(fsm.state_count, max_levels, per_state,
+                        pipeline=getattr(fsm, "pipeline_schedule", None))
 
 
 class CompiledDesign:

@@ -10,8 +10,12 @@ a cycle.  This package rewrites that FSM before code generation:
   structural interning), branch resolution + unreachable-state pruning,
   dead-register elimination, and state fusion/retiming under the
   timing-level budget.
-* :mod:`repro.kiwi.opt.manager` — pipelines per ``opt_level`` (0/1/2)
-  and the fixpoint driver.
+* :mod:`repro.kiwi.opt.pipeline` — the ``-O3`` initiation-interval
+  pipelining analysis: recurrence + resource bounds over the
+  cross-state dependence graph, emitted as a
+  :class:`~repro.kiwi.opt.pipeline.PipelineSchedule`.
+* :mod:`repro.kiwi.opt.manager` — pipelines per ``opt_level``
+  (0/1/2/3) and the fixpoint driver.
 * :mod:`repro.kiwi.opt.verify` — differential co-simulation proving
   ``-On`` observationally equivalent to ``-O0`` on seeded random
   inputs.
@@ -25,6 +29,10 @@ from repro.kiwi.opt.passes import (
     BranchResolvePass, ConstantFoldPass, CsePass, DeadRegisterPass,
     OptContext, PassStats, StateFusionPass,
 )
+from repro.kiwi.opt.pipeline import (
+    DEFAULT_STREAM_MEMORIES, PIPELINE_CONTROL_LEVELS, PipelineSchedule,
+    analyze_pipeline,
+)
 from repro.kiwi.opt.verify import (
     DifferentialReport, assert_equivalent, differential_check,
 )
@@ -33,5 +41,7 @@ __all__ = [
     "PIPELINES", "PassManager", "optimize",
     "BranchResolvePass", "ConstantFoldPass", "CsePass",
     "DeadRegisterPass", "OptContext", "PassStats", "StateFusionPass",
+    "DEFAULT_STREAM_MEMORIES", "PIPELINE_CONTROL_LEVELS",
+    "PipelineSchedule", "analyze_pipeline",
     "DifferentialReport", "assert_equivalent", "differential_check",
 ]

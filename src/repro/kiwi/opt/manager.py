@@ -7,7 +7,11 @@ unreachable-state pruning, dead-register elimination, and CSE.  None of
 them changes the cycle count of any execution.  ``-O2`` adds state
 fusion (retiming under the timing budget), which is the pass that cuts
 cycles-per-packet, then lets the sealer elide any state the other
-passes emptied.
+passes emptied.  ``-O3`` runs the same rewrites and then the
+initiation-interval pipelining analysis
+(:mod:`repro.kiwi.opt.pipeline`) over the sealed machine, attaching
+the resulting :class:`~repro.kiwi.opt.pipeline.PipelineSchedule` to
+the FSM for the cycle models and the in-flight executor.
 
 The pipeline iterates to a fixpoint (each pass can expose work for the
 others: folding a branch condition exposes unreachable states, fusion
@@ -26,6 +30,8 @@ PIPELINES = {
     0: (),
     1: (ConstantFoldPass, BranchResolvePass, DeadRegisterPass, CsePass),
     2: (ConstantFoldPass, BranchResolvePass, DeadRegisterPass,
+        StateFusionPass, CsePass),
+    3: (ConstantFoldPass, BranchResolvePass, DeadRegisterPass,
         StateFusionPass, CsePass),
 }
 
@@ -61,7 +67,7 @@ def optimize(fsm, var_widths, spec, opt_level, level_budget=48):
     """
     if opt_level not in PIPELINES:
         raise CompileError(
-            "unknown optimization level %r (have -O0/-O1/-O2)"
+            "unknown optimization level %r (have -O0/-O1/-O2/-O3)"
             % (opt_level,))
     pipeline = PIPELINES[opt_level]
     if not pipeline:
@@ -78,4 +84,10 @@ def optimize(fsm, var_widths, spec, opt_level, level_budget=48):
         # refresh the indices after unreachable-state pruning.
         for index, state in enumerate(fsm.states):
             state.index = index
+    if opt_level >= 3:
+        # Pipelining is an analysis over the final sealed machine, so
+        # it runs once after the rewrite fixpoint, not inside it.
+        from repro.kiwi.opt.pipeline import analyze_pipeline
+        fsm.pipeline_schedule = analyze_pipeline(
+            fsm, var_widths, spec, level_budget=level_budget)
     return stats

@@ -230,7 +230,8 @@ class MemcachedService(EmuService):
             return b"DELETED\r\n" if found else b"NOT_FOUND\r\n"
         return b"ERROR\r\n"
 
-    def kernel_cycle_model(self, opt_level, batch=None):
+    def kernel_cycle_model(self, opt_level, batch=None,
+                           level_budget=None):
         """Core-cycle model from the compiled paper-initial kernel.
 
         Used by :class:`~repro.targets.fpga.FpgaTarget` when an
@@ -243,7 +244,7 @@ class MemcachedService(EmuService):
         from repro.targets.kernel_model import KernelCycleModel
         return KernelCycleModel(memcached_kernel, opt_level,
                                 scalars={"my_ip": self.my_ip},
-                                batch=batch)
+                                batch=batch, level_budget=level_budget)
 
     def datapath_extra_cycles(self, frame):
         """Byte-serial request parse and response construction, UDP/IP

@@ -18,7 +18,7 @@ deprecated path, kept for cross-checking).
 """
 
 from repro.errors import TargetError
-from repro.kiwi.compiler import compile_function
+from repro.kiwi.compiler import DEFAULT_LEVEL_BUDGET, compile_function
 
 
 class KernelCycleModel:
@@ -32,8 +32,11 @@ class KernelCycleModel:
 
     def __init__(self, kernel, opt_level, scalars=None,
                  frame_param="frame", max_cycles=100000, use_engine=True,
-                 batch=None):
-        self.design = compile_function(kernel, opt_level=opt_level)
+                 batch=None, level_budget=None):
+        self.level_budget = (DEFAULT_LEVEL_BUDGET if level_budget is None
+                             else int(level_budget))
+        self.design = compile_function(kernel, opt_level=opt_level,
+                                       level_budget=self.level_budget)
         memories = dict(self.design.spec.memory_params)
         if frame_param not in memories:
             raise TargetError(
@@ -62,6 +65,19 @@ class KernelCycleModel:
     @property
     def opt_level(self):
         return self.design.opt_level
+
+    @property
+    def initiation_interval(self):
+        """Steady-state issue interval (cycles) from the ``-O3``
+        pipelining schedule, or None when the machine does not pipeline
+        (below -O3, analysis refused, or the frame buffer is not a
+        per-request stream memory so requests cannot overlap)."""
+        schedule = getattr(self.design.fsm, "pipeline_schedule", None)
+        if schedule is None or not schedule.feasible:
+            return None
+        if self.frame_param not in schedule.stream_memories:
+            return None
+        return schedule.initiation_interval
 
     def poke_memory(self, name, addr, value):
         """Backdoor-program one warm memory word (services use this to

@@ -47,7 +47,7 @@ class TestFluentConfig:
 
     def test_bad_opt_level_rejected(self):
         with pytest.raises(TargetError, match="opt_level"):
-            deploy("memcached").with_opt(3)
+            deploy("memcached").with_opt(4)
 
     def test_config_frozen_after_start(self):
         dep = deploy("memcached").on("cpu").start()
